@@ -1,0 +1,79 @@
+// Distributed-scalability experiment (the paper's §V-B argument and §VII
+// future work, on the simulated BSP/KLA substrate): for rank counts
+// 2..64, compare classic BSP DO-LP against KLA-Thrifty (local fixed
+// point + Zero Planting + Zero Convergence) on supersteps, message
+// volume, and local edge work.  Shape claims: KLA-Thrifty needs a small,
+// near-constant number of supersteps while BSP supersteps track the
+// propagation depth; Thrifty's techniques cut the message volume; both
+// return exact components (verified).
+#include <cstdio>
+#include <string>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/table_printer.hpp"
+#include "core/verify.hpp"
+#include "dist/dist_lp.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using namespace thrifty;  // NOLINT(google-build-using-namespace)
+
+void run_dataset(const char* name, support::Scale scale) {
+  const auto* spec = bench::find_dataset(name);
+  const graph::CsrGraph g = bench::build_dataset(*spec, scale);
+  std::printf("\nDataset: %s (%u vertices, %llu directed edges)\n", name,
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_directed_edges()));
+  bench::TablePrinter table({"Ranks", "BSP steps", "KLA steps",
+                             "BSP msgs", "KLA msgs", "BSP MB", "KLA MB",
+                             "Msg reduction"});
+  for (const int ranks : {2, 4, 8, 16, 32, 64}) {
+    const auto bsp =
+        dist::distributed_lp_cc(g, dist::bsp_dolp_config(ranks));
+    const auto kla =
+        dist::distributed_lp_cc(g, dist::kla_thrifty_config(ranks));
+    if (!core::verify_labels(g, bsp.label_span()).valid ||
+        !core::verify_labels(g, kla.label_span()).valid) {
+      std::fprintf(stderr, "FATAL: wrong distributed result\n");
+      std::abort();
+    }
+    const double reduction =
+        bsp.total_messages > 0
+            ? 1.0 - static_cast<double>(kla.total_messages) /
+                        static_cast<double>(bsp.total_messages)
+            : 0.0;
+    table.add_row(
+        {std::to_string(ranks), std::to_string(bsp.supersteps),
+         std::to_string(kla.supersteps),
+         std::to_string(bsp.total_messages),
+         std::to_string(kla.total_messages),
+         bench::TablePrinter::fmt_ratio(
+             static_cast<double>(bsp.total_bytes) / 1e6),
+         bench::TablePrinter::fmt_ratio(
+             static_cast<double>(kla.total_bytes) / 1e6),
+         bench::TablePrinter::fmt_percent(reduction)});
+  }
+  table.print();
+}
+
+int run() {
+  const auto scale = support::bench_scale();
+  bench::print_banner(
+      std::string("Distributed simulation: BSP DO-LP vs KLA-Thrifty "
+                  "(§V-B / §VII; scale: ") +
+      support::to_string(scale) + ")");
+  run_dataset("twitter", scale);
+  run_dataset("webbase", scale);
+  run_dataset("gb_road", scale);
+  std::printf(
+      "\nShape check: KLA-Thrifty supersteps stay small and nearly flat "
+      "in the rank count; BSP supersteps track propagation depth "
+      "(largest on the road grid); Thrifty's techniques reduce message "
+      "volume on the skewed graphs.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,66 @@
+// Figure 1 reproduction: geometric-mean speedup of each CC algorithm
+// normalised to Shiloach-Vishkin, over all datasets (the paper shows one
+// bar group per architecture; our single host produces one group).
+// Shape claim: the ordering SV < BFS-CC < DO-LP-family < JT < Afforest ~
+// Thrifty, with Thrifty the tallest bar.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/harness.hpp"
+#include "bench_common/table_printer.hpp"
+#include "cc_baselines/registry.hpp"
+#include "support/env.hpp"
+#include "support/math.hpp"
+
+namespace {
+
+using namespace thrifty;  // NOLINT(google-build-using-namespace)
+
+int run() {
+  const auto scale = support::bench_scale();
+  bench::print_banner(
+      std::string("Figure 1: geomean speedup over SV, all datasets "
+                  "(scale: ") +
+      support::to_string(scale) + ")");
+
+  const auto algorithms = baselines::paper_algorithms();
+  bench::HarnessOptions harness;
+  harness.trials = bench::default_trials();
+
+  std::vector<std::vector<double>> speedup_vs_sv(algorithms.size());
+  for (const auto& spec : bench::all_datasets()) {
+    const graph::CsrGraph g = bench::build_dataset(spec, scale);
+    std::vector<double> times;
+    for (const auto& algo : algorithms) {
+      times.push_back(bench::time_algorithm(algo, g, harness).min_ms);
+    }
+    const double sv_ms = times.front();
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      if (times[a] > 0.0 && sv_ms > 0.0) {
+        speedup_vs_sv[a].push_back(sv_ms / times[a]);
+      }
+    }
+  }
+
+  bench::TablePrinter table({"Algorithm", "Geomean speedup vs SV"});
+  double max_speedup = 0.0;
+  std::string fastest;
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const double geo = support::geomean(speedup_vs_sv[a]);
+    if (geo > max_speedup) {
+      max_speedup = geo;
+      fastest = std::string(algorithms[a].display_name);
+    }
+    table.add_row({std::string(algorithms[a].display_name),
+                   bench::TablePrinter::fmt_ratio(geo) + "x"});
+  }
+  table.print();
+  std::printf("\nTallest bar: %s (paper: Thrifty)\n", fastest.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,151 @@
+// google-benchmark microbenchmarks of the library's primitives and
+// end-to-end algorithms: frontier structures, the edge-balanced
+// partitioner + work-stealing scheduler, generator throughput, and each
+// CC algorithm on a fixed R-MAT graph.  Complements the table/figure
+// harnesses with statistically managed per-operation numbers.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "cc_baselines/registry.hpp"
+#include "core/cc_common.hpp"
+#include "frontier/bitmap.hpp"
+#include "frontier/local_worklists.hpp"
+#include "frontier/sliding_queue.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "partition/scheduler.hpp"
+#include "support/parallel.hpp"
+
+namespace {
+
+using namespace thrifty;  // NOLINT(google-build-using-namespace)
+
+const graph::CsrGraph& shared_graph() {
+  static const graph::CsrGraph graph = [] {
+    gen::RmatParams params;
+    params.scale = 14;
+    params.edge_factor = 12;
+    return graph::build_csr(gen::rmat_edges(params)).graph;
+  }();
+  return graph;
+}
+
+void BM_BitmapSetAtomic(benchmark::State& state) {
+  frontier::Bitmap bitmap(1 << 20);
+  std::uint64_t bit = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitmap.set_atomic(bit));
+    bit = (bit + 127) & ((1 << 20) - 1);
+  }
+}
+BENCHMARK(BM_BitmapSetAtomic);
+
+void BM_BitmapCount(benchmark::State& state) {
+  frontier::Bitmap bitmap(1 << 20);
+  for (std::uint64_t b = 0; b < (1 << 20); b += 3) bitmap.set(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitmap.count());
+  }
+}
+BENCHMARK(BM_BitmapCount);
+
+void BM_SlidingQueueBufferedPush(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  for (auto _ : state) {
+    frontier::SlidingQueue queue(n);
+    {
+      frontier::SlidingQueue::LocalBuffer buffer(queue);
+      for (graph::VertexId v = 0; v < n; ++v) buffer.push_back(v);
+    }
+    queue.slide_window();
+    benchmark::DoNotOptimize(queue.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SlidingQueueBufferedPush);
+
+void BM_LocalWorklistsPushAndDrain(benchmark::State& state) {
+  const graph::VertexId n = 1 << 16;
+  frontier::LocalWorklists lists(n, support::num_threads());
+  for (auto _ : state) {
+    for (graph::VertexId v = 0; v < n; v += 2) lists.push(0, v);
+    std::atomic<std::uint64_t> sum{0};
+    lists.process_with_stealing([&](int, graph::VertexId v) {
+      sum.fetch_add(v, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sum.load());
+    lists.clear();
+  }
+}
+BENCHMARK(BM_LocalWorklistsPushAndDrain);
+
+void BM_EdgeBalancedPartitioning(benchmark::State& state) {
+  const auto& g = shared_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::edge_balanced_partitions(
+        g, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_EdgeBalancedPartitioning)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_SchedulerSweep(benchmark::State& state) {
+  const auto& g = shared_graph();
+  partition::PartitionScheduler scheduler(g, 32);
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> edges{0};
+    scheduler.for_each_partition(
+        [&](int, const partition::VertexRange& range) {
+          edges.fetch_add(partition::edges_in_range(g, range),
+                          std::memory_order_relaxed);
+        });
+    benchmark::DoNotOptimize(edges.load());
+  }
+}
+BENCHMARK(BM_SchedulerSweep);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  gen::RmatParams params;
+  params.scale = static_cast<int>(state.range(0));
+  params.edge_factor = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::rmat_edges(params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1LL << params.scale) * params.edge_factor);
+}
+BENCHMARK(BM_RmatGeneration)->Arg(12)->Arg(14);
+
+void BM_CsrBuild(benchmark::State& state) {
+  gen::RmatParams params;
+  params.scale = 13;
+  params.edge_factor = 8;
+  const graph::EdgeList edges = gen::rmat_edges(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_csr(edges, 1u << 13));
+  }
+}
+BENCHMARK(BM_CsrBuild);
+
+void BM_CcAlgorithm(benchmark::State& state, const char* name) {
+  const auto& g = shared_graph();
+  const auto* entry = baselines::find_algorithm(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::run_algorithm(*entry, g));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(g.num_directed_edges()));
+}
+BENCHMARK_CAPTURE(BM_CcAlgorithm, thrifty, "thrifty");
+BENCHMARK_CAPTURE(BM_CcAlgorithm, dolp, "dolp");
+BENCHMARK_CAPTURE(BM_CcAlgorithm, dolp_unified, "dolp_unified");
+BENCHMARK_CAPTURE(BM_CcAlgorithm, afforest, "afforest");
+BENCHMARK_CAPTURE(BM_CcAlgorithm, jt, "jt");
+BENCHMARK_CAPTURE(BM_CcAlgorithm, sv, "sv");
+BENCHMARK_CAPTURE(BM_CcAlgorithm, bfs_cc, "bfs_cc");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// §III-C experiment: initial label assignment vs vertex numbering.  In
+// label propagation the initial label is the vertex id, so renumbering
+// the graph re-assigns initial labels.  We run DO-LP (no planting) on
+// four numberings — original, hub-first (degree descending), hub-last
+// (degree ascending, adversarial), random — and compare against Thrifty,
+// whose Zero Planting achieves the hub-first effect without paying for a
+// physical reordering pass.  Shape claims: hub-first DO-LP needs the
+// fewest DO-LP iterations; hub-last the most; Thrifty beats all DO-LP
+// variants on time regardless of numbering.
+#include <cstdio>
+#include <string>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/table_printer.hpp"
+#include "core/dolp.hpp"
+#include "core/thrifty.hpp"
+#include "frontier/density.hpp"
+#include "reorder/reorder.hpp"
+#include "support/env.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace thrifty;  // NOLINT(google-build-using-namespace)
+
+int run() {
+  const auto scale = support::bench_scale();
+  bench::print_banner(
+      std::string("Initial label assignment via renumbering (§III-C "
+                  "ablation; scale: ") +
+      support::to_string(scale) + ")");
+
+  bench::TablePrinter table({"Dataset", "DO-LP orig", "DO-LP hub-first",
+                             "DO-LP hub-last", "DO-LP random",
+                             "Thrifty (iters)", "Reorder cost ms"});
+  core::CcOptions dolp_options;
+  dolp_options.density_threshold = frontier::kLigraThreshold;
+
+  for (const char* name : {"pokec", "twitter", "webcc", "uk_domain"}) {
+    const auto* spec = bench::find_dataset(name);
+    const graph::CsrGraph g = bench::build_dataset(*spec, scale);
+
+    support::Timer reorder_timer;
+    const graph::CsrGraph hub_first =
+        reorder::apply_permutation(g, reorder::degree_descending_order(g));
+    const double reorder_ms = reorder_timer.elapsed_ms();
+    const graph::CsrGraph hub_last =
+        reorder::apply_permutation(g, reorder::degree_ascending_order(g));
+    const graph::CsrGraph random = reorder::apply_permutation(
+        g, reorder::random_order(g.num_vertices(), 17));
+
+    const auto orig = core::dolp_cc(g, dolp_options);
+    const auto first = core::dolp_cc(hub_first, dolp_options);
+    const auto last = core::dolp_cc(hub_last, dolp_options);
+    const auto rand_run = core::dolp_cc(random, dolp_options);
+    const auto thrifty = core::thrifty_cc(g);
+
+    auto cell = [](const core::CcResult& r) {
+      return std::to_string(r.stats.num_iterations) + " it/" +
+             bench::TablePrinter::fmt_ms(r.stats.total_ms) + "ms";
+    };
+    table.add_row({name, cell(orig), cell(first), cell(last),
+                   cell(rand_run), cell(thrifty),
+                   bench::TablePrinter::fmt_ms(reorder_ms)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: hub-first numbering cuts DO-LP iterations vs "
+      "hub-last; Thrifty gets the same effect from Zero Planting alone, "
+      "without the reordering pass, and is fastest overall.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

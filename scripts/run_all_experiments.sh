@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the extension
+# experiments, writing one log per bench under results/.
+#
+#   scripts/run_all_experiments.sh [build_dir] [scale]
+#
+# scale: tiny | small (default) | large  -> THRIFTY_SCALE
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${2:-${THRIFTY_SCALE:-small}}"
+RESULTS_DIR="results/${SCALE}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -G Ninja && cmake --build ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+mkdir -p "${RESULTS_DIR}"
+echo "scale=${SCALE}  results -> ${RESULTS_DIR}/"
+
+for bench in "${BUILD_DIR}"/bench/*; do
+  [[ -f "${bench}" && -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  echo "== ${name}"
+  THRIFTY_SCALE="${SCALE}" "${bench}" | tee "${RESULTS_DIR}/${name}.txt"
+done
+
+echo
+echo "all experiments written to ${RESULTS_DIR}/"

@@ -1,0 +1,238 @@
+#include "bench_common/datasets.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "gen/barabasi_albert.hpp"
+#include "gen/combine.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+
+namespace thrifty::bench {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::VertexId;
+using support::Scale;
+
+namespace {
+
+/// Scale shift: tiny datasets are 8x smaller than small (quick ctest
+/// smoke runs), large are 4x bigger (longer, closer-to-paper shapes).
+int scale_shift(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return -3;
+    case Scale::kLarge:
+      return 2;
+    case Scale::kSmall:
+      break;
+  }
+  return 0;
+}
+
+CsrGraph finish(EdgeList edges) {
+  return graph::build_csr(edges, graph::BuildOptions{}).graph;
+}
+
+/// Scales an auxiliary count (satellite components, path-tail length)
+/// with the dataset scale, never below 1.
+VertexId scaled_count(VertexId base, Scale scale) {
+  const int shift = scale_shift(scale);
+  const VertexId scaled =
+      shift >= 0 ? (base << shift) : (base >> (-shift));
+  return scaled > 0 ? scaled : 1;
+}
+
+CsrGraph finish(EdgeList edges, VertexId num_vertices) {
+  return graph::build_csr(edges, num_vertices, graph::BuildOptions{}).graph;
+}
+
+/// Skewed single-giant social network: Barabási–Albert.
+CsrGraph build_social_ba(Scale scale, int base_scale, int m,
+                         std::uint64_t seed) {
+  gen::BarabasiAlbertParams params;
+  params.num_vertices = VertexId{1}
+                        << (base_scale + scale_shift(scale));
+  params.edges_per_vertex = m;
+  params.seed = seed;
+  return finish(gen::barabasi_albert_edges(params));
+}
+
+/// Skewed graph with optional satellite components: R-MAT core plus
+/// `satellites` small random trees (modelling the paper's datasets with
+/// thousands-to-millions of tiny components around one giant).
+CsrGraph build_rmat(Scale scale, int base_scale, int edge_factor, double a,
+                    double bc, VertexId satellites, std::uint64_t seed) {
+  gen::RmatParams params;
+  params.scale = base_scale + scale_shift(scale);
+  params.edge_factor = edge_factor;
+  params.a = a;
+  params.b = bc;
+  params.c = bc;
+  params.seed = seed;
+  EdgeList edges = gen::rmat_edges(params);
+  VertexId n = VertexId{1} << params.scale;
+  if (satellites > 0) {
+    n = gen::append_satellite_components(
+        edges, n, scaled_count(satellites, scale), 3, seed + 17);
+  }
+  return finish(std::move(edges), n);
+}
+
+/// Deep web graph: R-MAT core with a long path grafted onto vertex 0
+/// (high effective diameter, driving the many-push-iteration regime the
+/// paper reports for WebBase/UK-Union) plus satellite components.
+CsrGraph build_deep_web(Scale scale, int base_scale, int edge_factor,
+                        double a, double bc, VertexId tail,
+                        VertexId satellites, std::uint64_t seed) {
+  gen::RmatParams params;
+  params.scale = base_scale + scale_shift(scale);
+  params.edge_factor = edge_factor;
+  params.a = a;
+  params.b = bc;
+  params.c = bc;
+  params.seed = seed;
+  EdgeList edges = gen::rmat_edges(params);
+  VertexId n = VertexId{1} << params.scale;
+  // Graft the path: vertices n .. n+tail-1 chained, attached to an edge
+  // endpoint (edge endpoints are degree-biased in R-MAT, so the anchor is
+  // almost surely inside the giant component, as WebBase's deep regions
+  // hang off its core).
+  const VertexId tail_len = std::max<VertexId>(16, scaled_count(tail, scale));
+  const VertexId anchor = edges.front().u;
+  edges.push_back(graph::Edge{anchor, n});
+  for (VertexId i = 1; i < tail_len; ++i) {
+    edges.push_back(graph::Edge{n + i - 1, n + i});
+  }
+  n += tail_len;
+  if (satellites > 0) {
+    n = gen::append_satellite_components(
+        edges, n, scaled_count(satellites, scale), 3, seed + 17);
+  }
+  return finish(std::move(edges), n);
+}
+
+CsrGraph build_road(Scale scale, VertexId base_side, std::uint64_t seed) {
+  gen::GridParams params;
+  const int shift = scale_shift(scale);
+  params.width = shift >= 0 ? base_side << shift : base_side >> (-shift);
+  params.height = params.width;
+  params.seed = seed;
+  return finish(gen::grid_edges(params),
+                params.width * params.height);
+}
+
+// ---- One builder per Table II stand-in ------------------------------
+
+CsrGraph gb_road(Scale s) { return build_road(s, 256, 11); }
+CsrGraph us_road(Scale s) { return build_road(s, 448, 12); }
+CsrGraph pokec(Scale s) { return build_social_ba(s, 16, 12, 21); }
+CsrGraph wiki(Scale s) {
+  return build_rmat(s, 16, 12, 0.57, 0.19, 512, 22);
+}
+CsrGraph ljournal(Scale s) {
+  return build_rmat(s, 16, 16, 0.57, 0.19, 512, 23);
+}
+CsrGraph ljgroups(Scale s) { return build_social_ba(s, 16, 24, 24); }
+CsrGraph twitter(Scale s) {
+  return build_rmat(s, 17, 16, 0.57, 0.19, 1024, 25);
+}
+CsrGraph webbase(Scale s) {
+  return build_deep_web(s, 15, 14, 0.62, 0.17, 2048, 192, 26);
+}
+CsrGraph friendster(Scale s) {
+  return build_rmat(s, 17, 24, 0.57, 0.19, 0, 27);
+}
+CsrGraph sk_domain(Scale s) {
+  return build_rmat(s, 16, 20, 0.65, 0.15, 45, 28);
+}
+CsrGraph webcc(Scale s) {
+  return build_rmat(s, 16, 16, 0.62, 0.17, 768, 29);
+}
+CsrGraph uk_domain(Scale s) {
+  return build_deep_web(s, 16, 18, 0.65, 0.15, 1024, 512, 30);
+}
+CsrGraph clueweb(Scale s) {
+  return build_rmat(s, 18, 8, 0.62, 0.17, 2048, 31);
+}
+
+constexpr std::array<DatasetSpec, 13> kDatasets = {{
+    {"gb_road", "GB Rd (GB Roads)", DatasetKind::kRoadNetwork, false,
+     &gb_road},
+    {"us_road", "US Rd (US Roads)", DatasetKind::kRoadNetwork, false,
+     &us_road},
+    {"pokec", "Pkc (Pokec)", DatasetKind::kSocialNetwork, true, &pokec},
+    {"wiki", "WWiki (War Wikipedia)", DatasetKind::kKnowledgeGraph, true,
+     &wiki},
+    {"ljournal", "LJLnks (LiveJournal)", DatasetKind::kSocialNetwork, true,
+     &ljournal},
+    {"ljgroups", "LJGrp (LiveJournal Groups)", DatasetKind::kSocialNetwork,
+     true, &ljgroups},
+    {"twitter", "Twtr (Twitter)", DatasetKind::kSocialNetwork, true,
+     &twitter},
+    {"webbase", "Wbbs (WebBase-2001)", DatasetKind::kWebGraph, true,
+     &webbase},
+    {"friendster", "Frndstr (Friendster)", DatasetKind::kSocialNetwork,
+     true, &friendster},
+    {"sk_domain", "SK (SK-Domain)", DatasetKind::kWebGraph, true,
+     &sk_domain},
+    {"webcc", "WbCc (Web-CC12)", DatasetKind::kWebGraph, true, &webcc},
+    {"uk_domain", "UKDmn (UK-Domain)", DatasetKind::kWebGraph, true,
+     &uk_domain},
+    {"clueweb", "ClWb9 (ClueWeb09)", DatasetKind::kWebGraph, true,
+     &clueweb},
+}};
+
+}  // namespace
+
+const char* to_string(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kRoadNetwork:
+      return "Road Network";
+    case DatasetKind::kSocialNetwork:
+      return "Social Network";
+    case DatasetKind::kWebGraph:
+      return "Web Graph";
+    case DatasetKind::kKnowledgeGraph:
+      return "Knowledge Graph";
+  }
+  return "?";
+}
+
+std::span<const DatasetSpec> all_datasets() { return kDatasets; }
+
+std::vector<DatasetSpec> skewed_datasets() {
+  std::vector<DatasetSpec> result;
+  for (const DatasetSpec& spec : kDatasets) {
+    if (spec.power_law) result.push_back(spec);
+  }
+  return result;
+}
+
+std::vector<DatasetSpec> road_datasets() {
+  std::vector<DatasetSpec> result;
+  for (const DatasetSpec& spec : kDatasets) {
+    if (!spec.power_law) result.push_back(spec);
+  }
+  return result;
+}
+
+const DatasetSpec* find_dataset(std::string_view name) {
+  for (const DatasetSpec& spec : kDatasets) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+graph::CsrGraph build_dataset(const DatasetSpec& spec) {
+  return build_dataset(spec, support::bench_scale());
+}
+
+graph::CsrGraph build_dataset(const DatasetSpec& spec,
+                              support::Scale scale) {
+  return spec.build(scale);
+}
+
+}  // namespace thrifty::bench

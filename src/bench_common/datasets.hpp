@@ -1,0 +1,51 @@
+// Synthetic stand-ins for the paper's 17 datasets (Table II).  Each entry
+// reproduces the *structural class* of its namesake — degree skew, giant
+// component coverage, component count regime, diameter regime — at a size
+// scaled for the host through THRIFTY_SCALE (tiny | small | large).  See
+// DESIGN.md §3 for why these substitutions preserve the paper's claims.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/env.hpp"
+
+namespace thrifty::bench {
+
+enum class DatasetKind { kRoadNetwork, kSocialNetwork, kWebGraph,
+                         kKnowledgeGraph };
+
+[[nodiscard]] const char* to_string(DatasetKind kind);
+
+struct DatasetSpec {
+  /// Registry key, e.g. "twitter".
+  std::string_view name;
+  /// The paper dataset this stands in for, e.g. "Twtr (Twitter)".
+  std::string_view paper_name;
+  DatasetKind kind;
+  bool power_law;
+  graph::CsrGraph (*build)(support::Scale);
+};
+
+/// All stand-ins, in the row order of Table II (roads first).
+[[nodiscard]] std::span<const DatasetSpec> all_datasets();
+
+/// The skewed-degree (power-law) subset — what §V-C/"SKEW" experiments
+/// iterate over.
+[[nodiscard]] std::vector<DatasetSpec> skewed_datasets();
+
+/// The road-network subset.
+[[nodiscard]] std::vector<DatasetSpec> road_datasets();
+
+/// Lookup by key; returns nullptr when unknown.
+[[nodiscard]] const DatasetSpec* find_dataset(std::string_view name);
+
+/// Builds a dataset at the given scale (default: THRIFTY_SCALE).
+[[nodiscard]] graph::CsrGraph build_dataset(const DatasetSpec& spec);
+[[nodiscard]] graph::CsrGraph build_dataset(const DatasetSpec& spec,
+                                            support::Scale scale);
+
+}  // namespace thrifty::bench

@@ -1,0 +1,57 @@
+#include "bench_common/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/verify.hpp"
+#include "support/env.hpp"
+
+namespace thrifty::bench {
+
+TimingResult time_algorithm(const baselines::AlgorithmEntry& entry,
+                            const graph::CsrGraph& graph,
+                            const HarnessOptions& options) {
+  TimingResult result;
+  for (int w = 0; w < options.warmup_runs; ++w) {
+    (void)baselines::run_algorithm(entry, graph, options.cc);
+  }
+  double sum = 0.0;
+  double best = 0.0;
+  for (int t = 0; t < options.trials; ++t) {
+    core::CcResult run = baselines::run_algorithm(entry, graph, options.cc);
+    const double ms = run.stats.total_ms;
+    sum += ms;
+    best = (t == 0) ? ms : std::min(best, ms);
+    if (t + 1 == options.trials) {
+      if (!core::edge_consistent(graph, run.label_span())) {
+        std::fprintf(stderr,
+                     "FATAL: algorithm '%s' produced labels inconsistent "
+                     "across an edge — refusing to report its timing\n",
+                     std::string(entry.name).c_str());
+        std::abort();
+      }
+      result.last = std::move(run);
+    }
+  }
+  result.min_ms = best;
+  result.mean_ms = options.trials > 0 ? sum / options.trials : 0.0;
+  result.trials = options.trials;
+  return result;
+}
+
+int default_trials() {
+  return static_cast<int>(
+      std::max<std::int64_t>(1, support::env_int("THRIFTY_BENCH_TRIALS", 3)));
+}
+
+std::string describe_graph(const graph::CsrGraph& graph) {
+  std::ostringstream out;
+  out << "|V| = " << graph.num_vertices()
+      << ", |E| = " << graph.num_undirected_edges()
+      << " undirected (" << graph.num_directed_edges() << " directed)";
+  return out.str();
+}
+
+}  // namespace thrifty::bench

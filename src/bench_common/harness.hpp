@@ -1,0 +1,41 @@
+// Timing harness for the table/figure benchmarks: warmup + repeated
+// trials, reporting the minimum (the paper reports per-run milliseconds;
+// min-of-N is the standard noise-robust estimator) plus the mean, and the
+// last run's full CcResult for verification and stats.
+#pragma once
+
+#include <string>
+
+#include "cc_baselines/registry.hpp"
+#include "core/cc_common.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace thrifty::bench {
+
+struct TimingResult {
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  int trials = 0;
+  core::CcResult last;
+};
+
+struct HarnessOptions {
+  int warmup_runs = 1;
+  int trials = 3;
+  core::CcOptions cc;
+};
+
+/// Times `entry` on `graph`.  Aborts (loudly) if any trial produces a
+/// label array inconsistent across an edge — a benchmark must never time
+/// a wrong answer.
+[[nodiscard]] TimingResult time_algorithm(
+    const baselines::AlgorithmEntry& entry, const graph::CsrGraph& graph,
+    const HarnessOptions& options = {});
+
+/// Number of trials adjusted to the THRIFTY_BENCH_TRIALS env var.
+[[nodiscard]] int default_trials();
+
+/// One-line dataset description: name, |V|, |E| (undirected), |CC|.
+[[nodiscard]] std::string describe_graph(const graph::CsrGraph& graph);
+
+}  // namespace thrifty::bench

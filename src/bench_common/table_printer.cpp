@@ -1,0 +1,85 @@
+#include "bench_common/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace thrifty::bench {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  THRIFTY_EXPECTS(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  THRIFTY_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      out << (c == 0 ? "" : "  ");
+      if (c == 0) {
+        out << row[c] << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << row[c];
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = headers_.size() - 1;  // separators ("  ")
+  for (const std::size_t w : widths) total += w + 1;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string TablePrinter::fmt_ms(double ms) {
+  char buffer[64];
+  if (ms < 10.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f", ms);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.1f", ms);
+  }
+  return buffer;
+}
+
+std::string TablePrinter::fmt_ratio(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.2f", value);
+  return buffer;
+}
+
+std::string TablePrinter::fmt_percent(double fraction) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.1f%%", fraction * 100.0);
+  return buffer;
+}
+
+std::string TablePrinter::fmt_count(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+void print_banner(const std::string& title) {
+  std::printf("\n== %s ==\n\n", title.c_str());
+}
+
+}  // namespace thrifty::bench

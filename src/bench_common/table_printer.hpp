@@ -1,0 +1,39 @@
+// Aligned plain-text table output, so every bench binary prints its
+// paper table/figure in a uniform, diffable format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thrifty::bench {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column-width alignment: first column left-aligned, the
+  /// rest right-aligned (numeric convention).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  // Cell formatting helpers.
+  [[nodiscard]] static std::string fmt_ms(double ms);
+  [[nodiscard]] static std::string fmt_ratio(double value);
+  [[nodiscard]] static std::string fmt_percent(double fraction);
+  [[nodiscard]] static std::string fmt_count(std::uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Table IV: ... ==").
+void print_banner(const std::string& title);
+
+}  // namespace thrifty::bench

@@ -1,0 +1,18 @@
+// Afforest (Sutton, Ben-Nun, Barak, IPDPS'18; the paper's [22]):
+// concurrent union-find CC that avoids processing most edges via
+// subgraph sampling.  Phase 1 links every vertex with its first
+// `sample_rounds` neighbours only; phase 2 identifies the most frequent
+// component among a random vertex sample (almost surely the giant
+// component); phase 3 finishes the remaining edges of vertices *outside*
+// that component only — on skewed graphs with a giant component this
+// skips the vast majority of edge work.
+#pragma once
+
+#include "core/cc_common.hpp"
+
+namespace thrifty::baselines {
+
+[[nodiscard]] core::CcResult afforest_cc(const graph::CsrGraph& graph,
+                                         const core::CcOptions& options = {});
+
+}  // namespace thrifty::baselines

@@ -1,0 +1,18 @@
+// Flood-filling connected components via direction-optimising BFS
+// (Beamer, Asanović, Patterson), the paper's BFS-CC baseline [30]: a BFS
+// is launched from every still-unvisited vertex and labels its whole
+// component.  Top-down (frontier push) switches to bottom-up (unvisited
+// pull) when the frontier's edge mass grows large, and back when the
+// frontier shrinks.  Graphs with many components pay one BFS launch per
+// component, which is exactly why the paper finds BFS-CC slow on web
+// crawls with hundreds of thousands of components.
+#pragma once
+
+#include "core/cc_common.hpp"
+
+namespace thrifty::baselines {
+
+[[nodiscard]] core::CcResult bfs_cc(const graph::CsrGraph& graph,
+                                    const core::CcOptions& options = {});
+
+}  // namespace thrifty::baselines

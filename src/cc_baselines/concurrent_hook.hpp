@@ -1,0 +1,74 @@
+// Shared concurrent min-hooking primitives for the union-find-based
+// algorithms (Afforest, the sampled hybrid): lock-free linking with
+// on-the-fly compression, pointer-jumping compression passes, and
+// most-frequent-component sampling.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "core/cc_common.hpp"
+#include "support/random.hpp"
+
+namespace thrifty::baselines::hook {
+
+/// Min-hooking link with on-the-fly compression (the GAP `Link`).
+inline void link(graph::Label u, graph::Label v, core::LabelArray& comp) {
+  graph::Label p1 = core::load_label(comp[u]);
+  graph::Label p2 = core::load_label(comp[v]);
+  while (p1 != p2) {
+    const graph::Label high = std::max(p1, p2);
+    const graph::Label low = std::min(p1, p2);
+    const graph::Label p_high = core::load_label(comp[high]);
+    if (p_high == low) break;
+    if (p_high == high) {
+      std::atomic_ref<graph::Label> ref(comp[high]);
+      graph::Label expected = high;
+      if (ref.compare_exchange_strong(expected, low,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    p1 = core::load_label(comp[core::load_label(comp[high])]);
+    p2 = core::load_label(comp[low]);
+  }
+}
+
+/// Full pointer-jumping pass: afterwards comp[v] == comp[comp[v]].
+inline void compress(core::LabelArray& comp, graph::VertexId n) {
+#pragma omp parallel for schedule(static)
+  for (graph::VertexId v = 0; v < n; ++v) {
+    graph::Label c = core::load_label(comp[v]);
+    while (c != core::load_label(comp[c])) {
+      c = core::load_label(comp[c]);
+    }
+    core::store_label(comp[v], c);
+  }
+}
+
+/// Most frequent component id among a random vertex sample — almost
+/// surely the giant component on skewed graphs (Table I).
+inline graph::Label sample_frequent_component(const core::LabelArray& comp,
+                                              graph::VertexId n,
+                                              std::uint32_t samples,
+                                              std::uint64_t seed) {
+  support::Xoshiro256StarStar rng(seed);
+  std::unordered_map<graph::Label, std::uint32_t> counts;
+  counts.reserve(samples * 2);
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+    ++counts[core::load_label(comp[v])];
+  }
+  graph::Label best = 0;
+  std::uint32_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace thrifty::baselines::hook

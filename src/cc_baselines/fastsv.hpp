@@ -1,0 +1,20 @@
+// FastSV (Zhang, Azad, Hu — the paper's related work [63]): a
+// min-based refinement of Shiloach–Vishkin.  Each round applies, for
+// every edge (u, v):
+//   * stochastic hooking:  f[f[u]] <- min(f[f[u]], f[f[v]])
+//   * aggressive hooking:  f[u]    <- min(f[u],    f[f[v]])
+// followed by pointer-jump shortcutting f[u] <- min(f[u], f[f[u]]),
+// iterating until no value changes.  As the paper's §VI observes, the
+// min-over-labels decision rule makes FastSV a label-propagation variant
+// rather than a topology-driven SV variant — which is why it slots into
+// this library's LP family.
+#pragma once
+
+#include "core/cc_common.hpp"
+
+namespace thrifty::baselines {
+
+[[nodiscard]] core::CcResult fastsv_cc(const graph::CsrGraph& graph,
+                                       const core::CcOptions& options = {});
+
+}  // namespace thrifty::baselines

@@ -1,0 +1,15 @@
+// Jayanti–Tarjan concurrent union-find connected components (PODC'16
+// "Concurrent disjoint set union" / the paper's [21]): a single pass over
+// the edges, each processed exactly once, using randomised linking —
+// roots are ordered by a random priority, and the lower-priority root is
+// attached to the higher with a CAS — and path halving during finds.
+#pragma once
+
+#include "core/cc_common.hpp"
+
+namespace thrifty::baselines {
+
+[[nodiscard]] core::CcResult jayanti_tarjan_cc(
+    const graph::CsrGraph& graph, const core::CcOptions& options = {});
+
+}  // namespace thrifty::baselines

@@ -1,0 +1,14 @@
+// Sequential ground-truth connected components via union-find.  Used by
+// tests as the oracle every parallel algorithm must match, and by the
+// Table I experiment (exact component membership).
+#pragma once
+
+#include "core/cc_common.hpp"
+
+namespace thrifty::baselines {
+
+/// Labels every vertex with the smallest vertex id of its component.
+[[nodiscard]] core::CcResult reference_cc(const graph::CsrGraph& graph,
+                                          const core::CcOptions& options = {});
+
+}  // namespace thrifty::baselines

@@ -1,0 +1,15 @@
+// Shiloach–Vishkin parallel connected components — the first Disjoint Set
+// CC algorithm (1982) and the weakest baseline in the paper's evaluation.
+// Each round performs a hook phase (attach the root of the larger-labelled
+// endpoint to the smaller label) and a shortcut phase (pointer jumping),
+// repeating until no hook fires.
+#pragma once
+
+#include "core/cc_common.hpp"
+
+namespace thrifty::baselines {
+
+[[nodiscard]] core::CcResult shiloach_vishkin_cc(
+    const graph::CsrGraph& graph, const core::CcOptions& options = {});
+
+}  // namespace thrifty::baselines

@@ -1,0 +1,81 @@
+#include "core/cc_common.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace thrifty::core {
+
+using graph::Label;
+
+std::uint64_t count_components(std::span<const Label> labels) {
+  std::vector<Label> sorted(labels.begin(), labels.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return sorted.size();
+}
+
+std::vector<Label> canonical_labels(std::span<const Label> labels) {
+  // Map each label to the smallest vertex id carrying it, then relabel.
+  std::unordered_map<Label, Label> representative;
+  representative.reserve(labels.size() / 16 + 8);
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    auto [it, inserted] =
+        representative.try_emplace(labels[v], static_cast<Label>(v));
+    if (!inserted && static_cast<Label>(v) < it->second) {
+      it->second = static_cast<Label>(v);
+    }
+  }
+  std::vector<Label> canonical(labels.size());
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    canonical[v] = representative.at(labels[v]);
+  }
+  return canonical;
+}
+
+bool same_partition(std::span<const Label> a, std::span<const Label> b) {
+  if (a.size() != b.size()) return false;
+  return canonical_labels(a) == canonical_labels(b);
+}
+
+std::vector<Label> compact_labels(std::span<const Label> labels) {
+  std::unordered_map<Label, Label> dense;
+  dense.reserve(labels.size() / 16 + 8);
+  std::vector<Label> compact(labels.size());
+  Label next = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    const auto [it, inserted] = dense.try_emplace(labels[v], next);
+    if (inserted) ++next;
+    compact[v] = it->second;
+  }
+  return compact;
+}
+
+std::vector<std::uint64_t> component_sizes(std::span<const Label> labels) {
+  std::unordered_map<Label, std::uint64_t> counts;
+  counts.reserve(labels.size() / 16 + 8);
+  for (const Label l : labels) ++counts[l];
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(counts.size());
+  for (const auto& [label, size] : counts) sizes.push_back(size);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+LargestComponent largest_component(std::span<const Label> labels) {
+  std::unordered_map<Label, std::uint64_t> sizes;
+  sizes.reserve(labels.size() / 16 + 8);
+  for (Label l : labels) ++sizes[l];
+  LargestComponent best;
+  for (const auto& [label, size] : sizes) {
+    if (size > best.size || (size == best.size && label < best.label)) {
+      best.label = label;
+      best.size = size;
+    }
+  }
+  return best;
+}
+
+}  // namespace thrifty::core

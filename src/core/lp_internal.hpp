@@ -1,0 +1,36 @@
+// Internals shared by the label-propagation implementations (DO-LP,
+// DO-LP+Unified, Thrifty): instrumented-convergence counting and
+// per-iteration event snapshots.  Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/types.hpp"
+#include "instrument/counters.hpp"
+
+namespace thrifty::core::detail {
+
+/// Number of vertices whose current label already equals its final label.
+/// Used only in instrumented runs to fill IterationRecord::converged_
+/// vertices (Figures 3, 7, 8).
+[[nodiscard]] inline std::uint64_t count_converged(
+    std::span<const graph::Label> current,
+    std::span<const graph::Label> final_labels) {
+  std::uint64_t converged = 0;
+  const std::size_t n = current.size();
+#pragma omp parallel for schedule(static) reduction(+ : converged)
+  for (std::size_t v = 0; v < n; ++v) {
+    converged += (current[v] == final_labels[v]) ? 1 : 0;
+  }
+  return converged;
+}
+
+/// Difference of edges_processed between two counter snapshots.
+[[nodiscard]] inline std::uint64_t edges_delta(
+    const instrument::EventCounters& before,
+    const instrument::EventCounters& after) {
+  return after.edges_processed - before.edges_processed;
+}
+
+}  // namespace thrifty::core::detail

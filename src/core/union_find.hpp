@@ -1,0 +1,67 @@
+// Sequential disjoint-set (union-find) with union by size and path
+// halving.  Serves as the ground-truth oracle for the verifier and the
+// test suite, and as the base structure of the disjoint-set baselines.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/assert.hpp"
+
+namespace thrifty::core {
+
+class UnionFind {
+ public:
+  explicit UnionFind(graph::VertexId n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), graph::VertexId{0});
+  }
+
+  [[nodiscard]] graph::VertexId find(graph::VertexId v) {
+    THRIFTY_EXPECTS(v < parent_.size());
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Unites the sets of `a` and `b`; returns true when they were distinct.
+  bool unite(graph::VertexId a, graph::VertexId b) {
+    graph::VertexId ra = find(a);
+    graph::VertexId rb = find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  [[nodiscard]] bool connected(graph::VertexId a, graph::VertexId b) {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] std::uint64_t set_size(graph::VertexId v) {
+    return size_[find(v)];
+  }
+
+  [[nodiscard]] graph::VertexId num_elements() const {
+    return static_cast<graph::VertexId>(parent_.size());
+  }
+
+  /// Number of disjoint sets.
+  [[nodiscard]] std::uint64_t num_sets() {
+    std::uint64_t count = 0;
+    for (graph::VertexId v = 0; v < parent_.size(); ++v) {
+      if (find(v) == v) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<graph::VertexId> parent_;
+  std::vector<std::uint64_t> size_;
+};
+
+}  // namespace thrifty::core

@@ -1,0 +1,35 @@
+// Connected-components verifier.  Two levels:
+//   * `edge_consistent` — every edge's endpoints carry the same label
+//     (necessary condition, parallel, O(E));
+//   * `verify_labels` — edge consistency plus "distinct labels ==
+//     number of true components" against a sequential union-find oracle.
+//     Together these imply the labelling is exactly the connectivity
+//     partition: edge consistency makes labels constant per component,
+//     and the count rules out two components sharing a label.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace thrifty::core {
+
+struct VerifyResult {
+  bool valid = false;
+  std::uint64_t components = 0;
+  std::string message;
+};
+
+[[nodiscard]] bool edge_consistent(const graph::CsrGraph& graph,
+                                   std::span<const graph::Label> labels);
+
+[[nodiscard]] VerifyResult verify_labels(
+    const graph::CsrGraph& graph, std::span<const graph::Label> labels);
+
+/// Exact component count via the sequential oracle.
+[[nodiscard]] std::uint64_t true_component_count(
+    const graph::CsrGraph& graph);
+
+}  // namespace thrifty::core

@@ -1,0 +1,81 @@
+#include "core/wavefront_trace.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace thrifty::core {
+
+using graph::Label;
+using graph::VertexId;
+
+WavefrontTrace trace_synchronous_lp(const graph::CsrGraph& graph,
+                                    std::vector<Label> initial) {
+  THRIFTY_EXPECTS(initial.size() == graph.num_vertices());
+  WavefrontTrace trace;
+  trace.snapshots.push_back(initial);
+  const VertexId n = graph.num_vertices();
+  std::vector<Label> old_lbs = std::move(initial);
+  std::vector<Label> new_lbs = old_lbs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      Label best = old_lbs[v];
+      for (const VertexId u : graph.neighbors(v)) {
+        best = std::min(best, old_lbs[u]);
+      }
+      if (best < old_lbs[v]) {
+        new_lbs[v] = best;
+        changed = true;
+      }
+    }
+    if (changed) {
+      old_lbs = new_lbs;
+      trace.snapshots.push_back(new_lbs);
+    }
+  }
+  return trace;
+}
+
+WavefrontTrace trace_unified_lp(const graph::CsrGraph& graph,
+                                std::vector<Label> initial) {
+  THRIFTY_EXPECTS(initial.size() == graph.num_vertices());
+  WavefrontTrace trace;
+  trace.snapshots.push_back(initial);
+  const VertexId n = graph.num_vertices();
+  std::vector<Label> labels = std::move(initial);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      Label best = labels[v];
+      for (const VertexId u : graph.neighbors(v)) {
+        best = std::min(best, labels[u]);  // sees this iteration's updates
+      }
+      if (best < labels[v]) {
+        labels[v] = best;
+        changed = true;
+      }
+    }
+    if (changed) trace.snapshots.push_back(labels);
+  }
+  return trace;
+}
+
+std::vector<Label> identity_labels(VertexId num_vertices) {
+  std::vector<Label> labels(num_vertices);
+  std::iota(labels.begin(), labels.end(), Label{0});
+  return labels;
+}
+
+std::vector<Label> zero_planted_labels(const graph::CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<Label> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v] = v + 1;
+  if (n > 0) labels[graph.max_degree_vertex()] = 0;
+  return labels;
+}
+
+}  // namespace thrifty::core

@@ -1,0 +1,49 @@
+// Iteration-by-iteration label snapshots on small graphs — the tooling
+// behind Figure 2 of the paper, which walks through how a label wavefront
+// ripples across an example graph one hop per iteration under DO-LP and
+// how Thrifty's techniques collapse those iterations.
+//
+// Sequential and O(V) memory per iteration: intended for didactic examples
+// and tests, not for large graphs.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace thrifty::core {
+
+struct WavefrontTrace {
+  /// snapshots[i] = labels after iteration i; snapshots[0] = initial
+  /// assignment.  The final snapshot is the converged labelling.
+  std::vector<std::vector<graph::Label>> snapshots;
+
+  [[nodiscard]] int iterations() const {
+    return static_cast<int>(snapshots.size()) - 1;
+  }
+};
+
+/// Synchronous label propagation from the given initial labels (the DO-LP
+/// two-array semantics: every iteration reads the previous iteration's
+/// labels only).  This exhibits the one-hop-per-iteration wavefront of
+/// §III-A.
+[[nodiscard]] WavefrontTrace trace_synchronous_lp(
+    const graph::CsrGraph& graph, std::vector<graph::Label> initial);
+
+/// Same, but with the Unified Labels Array semantics under an ascending
+/// vertex schedule: updates are visible within the iteration that
+/// computes them, so a label can travel many hops per iteration.
+[[nodiscard]] WavefrontTrace trace_unified_lp(const graph::CsrGraph& graph,
+                                              std::vector<graph::Label> initial);
+
+/// Default initial assignment of DO-LP (label = vertex id).
+[[nodiscard]] std::vector<graph::Label> identity_labels(
+    graph::VertexId num_vertices);
+
+/// Thrifty's Zero Planting assignment: v+1 everywhere, 0 on the
+/// maximum-degree vertex.
+[[nodiscard]] std::vector<graph::Label> zero_planted_labels(
+    const graph::CsrGraph& graph);
+
+}  // namespace thrifty::core

@@ -1,0 +1,229 @@
+#include "dist/dist_lp.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "partition/edge_partitioner.hpp"
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+
+namespace thrifty::dist {
+
+using graph::CsrGraph;
+using graph::Label;
+using graph::VertexId;
+using partition::VertexRange;
+
+namespace {
+
+constexpr Label kNeverSent = static_cast<Label>(-1);
+
+struct Message {
+  VertexId target;
+  Label label;
+};
+
+/// Owner lookup over contiguous ranges via binary search on starts.
+class Ownership {
+ public:
+  explicit Ownership(const std::vector<VertexRange>& ranges) {
+    starts_.reserve(ranges.size());
+    for (const VertexRange& r : ranges) starts_.push_back(r.begin);
+  }
+
+  [[nodiscard]] int owner(VertexId v) const {
+    const auto it =
+        std::upper_bound(starts_.begin(), starts_.end(), v);
+    return static_cast<int>(it - starts_.begin()) - 1;
+  }
+
+ private:
+  std::vector<VertexId> starts_;
+};
+
+}  // namespace
+
+DistCcResult distributed_lp_cc(const CsrGraph& graph,
+                               const DistOptions& options) {
+  THRIFTY_EXPECTS(options.ranks >= 1);
+  const VertexId n = graph.num_vertices();
+  const int ranks = options.ranks;
+
+  DistCcResult result;
+  result.config = std::string("ranks=") + std::to_string(ranks) +
+                  " k=" + std::to_string(options.k_level) +
+                  (options.async_local ? " async" : " sync") +
+                  (options.zero_planting ? " +plant" : "") +
+                  (options.zero_convergence ? " +zeroconv" : "");
+  result.labels = core::LabelArray(n);
+  if (n == 0) return result;
+  core::LabelArray& labels = result.labels;
+
+  const std::vector<VertexRange> ranges = partition::edge_balanced_partitions(
+      graph, static_cast<std::size_t>(ranks));
+  const Ownership ownership(ranges);
+
+  // Initial labels: identity (classic LP) or Zero Planting.
+  for (VertexId v = 0; v < n; ++v) {
+    labels[v] = options.zero_planting ? v + 1 : v;
+  }
+  if (options.zero_planting) labels[graph.max_degree_vertex()] = 0;
+
+  // `last_sent[v]`: label most recently announced across v's boundary
+  // edges (kNeverSent before the first announcement) — the per-source
+  // change detector driving message emission.
+  std::vector<Label> last_sent(n, kNeverSent);
+
+  // Double-buffered inboxes.
+  std::vector<std::vector<Message>> inbox(static_cast<std::size_t>(ranks));
+  std::vector<std::vector<Message>> next_inbox(
+      static_cast<std::size_t>(ranks));
+  // Per-rank sender-side combiners (target -> min candidate).
+  std::vector<std::unordered_map<VertexId, Label>> combiners(
+      static_cast<std::size_t>(ranks));
+
+  bool work_remaining = true;
+  int superstep = 0;
+  std::uint64_t local_work_total = 0;
+
+  while (work_remaining) {
+    SuperstepRecord record;
+    record.index = superstep;
+    std::uint64_t superstep_changes = 0;
+    std::uint64_t superstep_messages = 0;
+    std::uint64_t superstep_local_work = 0;
+    int active_ranks = 0;
+
+#pragma omp parallel for schedule(dynamic, 1)                         \
+    reduction(+ : superstep_changes, superstep_messages,              \
+                  superstep_local_work, active_ranks)
+    for (int r = 0; r < ranks; ++r) {
+      const VertexRange range = ranges[static_cast<std::size_t>(r)];
+      std::uint64_t rank_changes = 0;
+
+      // (1) Apply the inbox with min-combining on owned vertices.
+      for (const Message& msg : inbox[static_cast<std::size_t>(r)]) {
+        THRIFTY_ASSERT(msg.target >= range.begin &&
+                       msg.target < range.end);
+        if (msg.label < labels[msg.target]) {
+          labels[msg.target] = msg.label;
+          ++rank_changes;
+        }
+      }
+      inbox[static_cast<std::size_t>(r)].clear();
+
+      // (2) Local propagation over within-rank edges: up to k rounds, or
+      // to the local fixed point when k_level == 0 (the KLA limit).
+      // Synchronous rounds read a per-round snapshot (Jacobi: one hop
+      // per round, faithful BSP); asynchronous rounds read in place
+      // (Gauss–Seidel: the per-rank Unified Labels Array).
+      const int max_rounds =
+          options.k_level > 0 ? options.k_level : -1;
+      std::vector<Label> snapshot;
+      if (!options.async_local) {
+        snapshot.resize(range.size());
+      }
+      for (int round = 0; max_rounds < 0 || round < max_rounds; ++round) {
+        std::uint64_t round_changes = 0;
+        if (!options.async_local) {
+          std::copy(labels.begin() + range.begin,
+                    labels.begin() + range.end, snapshot.begin());
+        }
+        auto read_label = [&](VertexId u) {
+          return options.async_local ? labels[u]
+                                     : snapshot[u - range.begin];
+        };
+        for (VertexId v = range.begin; v < range.end; ++v) {
+          const Label lv = labels[v];
+          if (options.zero_convergence && lv == 0) continue;
+          Label new_label = lv;
+          for (const VertexId u : graph.neighbors(v)) {
+            if (u < range.begin || u >= range.end) continue;  // remote
+            ++superstep_local_work;
+            const Label lu = read_label(u);
+            if (lu < new_label) {
+              new_label = lu;
+              if (options.zero_convergence && new_label == 0) break;
+            }
+          }
+          if (new_label < lv) {
+            labels[v] = new_label;
+            ++round_changes;
+          }
+        }
+        rank_changes += round_changes;
+        if (round_changes == 0) break;
+      }
+
+      // (3) Announce changed labels across boundary edges, one combined
+      // message per remote target.
+      auto& combiner = combiners[static_cast<std::size_t>(r)];
+      combiner.clear();
+      for (VertexId v = range.begin; v < range.end; ++v) {
+        const Label lv = labels[v];
+        if (lv == last_sent[v]) continue;  // unchanged since last send
+        bool announced = false;
+        for (const VertexId u : graph.neighbors(v)) {
+          if (u >= range.begin && u < range.end) continue;  // local
+          announced = true;
+          const auto [it, inserted] = combiner.try_emplace(u, lv);
+          if (!inserted && lv < it->second) it->second = lv;
+        }
+        // Mark as sent even when there are no boundary edges, so the
+        // scan stays O(changed) after the first superstep.
+        (void)announced;
+        last_sent[v] = lv;
+      }
+      for (const auto& [target, label] : combiner) {
+        const int destination = ownership.owner(target);
+#pragma omp critical(thrifty_dist_inbox)
+        next_inbox[static_cast<std::size_t>(destination)].push_back(
+            Message{target, label});
+        ++superstep_messages;
+      }
+
+      superstep_changes += rank_changes;
+      if (rank_changes > 0) ++active_ranks;
+    }
+
+    inbox.swap(next_inbox);
+    record.messages = superstep_messages;
+    record.label_changes = superstep_changes;
+    record.active_ranks = active_ranks;
+    result.records.push_back(record);
+    result.total_messages += superstep_messages;
+    local_work_total += superstep_local_work;
+    ++superstep;
+
+    std::uint64_t inbox_size = 0;
+    for (const auto& box : inbox) inbox_size += box.size();
+    work_remaining = superstep_changes > 0 || inbox_size > 0;
+  }
+
+  result.supersteps = superstep;
+  result.total_bytes = result.total_messages * options.bytes_per_message;
+  result.local_edge_work = local_work_total;
+  return result;
+}
+
+DistOptions bsp_dolp_config(int ranks) {
+  DistOptions options;
+  options.ranks = ranks;
+  options.k_level = 1;
+  options.async_local = false;
+  options.zero_planting = false;
+  options.zero_convergence = false;
+  return options;
+}
+
+DistOptions kla_thrifty_config(int ranks) {
+  DistOptions options;
+  options.ranks = ranks;
+  options.k_level = 0;  // local fixed point
+  options.async_local = true;
+  options.zero_planting = true;
+  options.zero_convergence = true;
+  return options;
+}
+
+}  // namespace thrifty::dist

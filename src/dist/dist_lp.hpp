@@ -1,0 +1,94 @@
+// Simulated distributed label propagation — the paper's §V-B argument
+// ("the SpMV model of the Label Propagation algorithm allows successful
+// scaling in distributed systems", unlike disjoint-set CC) and its §VII
+// future work ("apply Thrifty to a distributed processing model like
+// KLA"), made measurable without a cluster.
+//
+// The simulation is a BSP / Pregel-style system of `ranks` processes:
+//   * vertices are range-partitioned edge-balanced across ranks; a rank
+//     may only read and write labels of the vertices it owns;
+//   * an edge whose endpoints live on different ranks is a *boundary*
+//     edge: label updates cross it only as explicit messages
+//     (target vertex, candidate label), delivered at the next superstep;
+//   * per superstep each rank (1) applies its inbox with min-combining,
+//     (2) propagates labels over its *local* edges, (3) emits one
+//     combined message per (boundary neighbour) whose source label
+//     changed.
+//
+// The KLA knob: `k_level` bounds the number of local propagation rounds
+// per superstep.  k = 1 reproduces synchronous BSP (classic distributed
+// LP); k = unbounded runs each rank's subgraph to its local fixed point
+// (fully asynchronous within a rank) — the distributed analogue of the
+// Unified Labels Array.  Zero Planting and Zero Convergence apply
+// per-rank exactly as in shared memory and, crucially, also suppress
+// outbound messages from converged regions.
+//
+// Communication accounting (messages, bytes, supersteps) is exact; it is
+// the quantity a real distributed run pays for, so the *shape* of the
+// comparison (Thrifty-style needs far fewer supersteps and messages than
+// BSP DO-LP) transfers even though the simulation runs on one node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cc_common.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace thrifty::dist {
+
+struct DistOptions {
+  /// Number of simulated processes.
+  int ranks = 8;
+  /// Local propagation rounds per superstep; 0 means "to local fixed
+  /// point" (unbounded k, the KLA limit).
+  int k_level = 1;
+  /// Local round semantics: false = synchronous (Jacobi — each round
+  /// reads the previous round's labels, one hop per round, classic BSP
+  /// DO-LP); true = asynchronous in-place (Gauss–Seidel — the
+  /// per-rank analogue of the Unified Labels Array).
+  bool async_local = false;
+  /// Thrifty techniques (applied per-rank + message suppression).
+  bool zero_planting = false;
+  bool zero_convergence = false;
+  /// Bytes charged per message: (target id + label) by default.
+  std::uint32_t bytes_per_message = 8;
+};
+
+struct SuperstepRecord {
+  int index = 0;
+  /// Combined messages sent during this superstep (after per-target
+  /// min-combining at the sender).
+  std::uint64_t messages = 0;
+  /// Ranks that changed at least one owned label.
+  int active_ranks = 0;
+  /// Total local label changes across ranks.
+  std::uint64_t label_changes = 0;
+};
+
+struct DistCcResult {
+  core::LabelArray labels;
+  int supersteps = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  /// Local (within-rank) edge relaxations — the compute side.
+  std::uint64_t local_edge_work = 0;
+  std::vector<SuperstepRecord> records;
+  std::string config;
+
+  [[nodiscard]] std::span<const graph::Label> label_span() const {
+    return {labels.data(), labels.size()};
+  }
+};
+
+/// Runs the simulated distributed CC to the global fixed point and
+/// returns exact connected-component labels.
+[[nodiscard]] DistCcResult distributed_lp_cc(const graph::CsrGraph& graph,
+                                             const DistOptions& options = {});
+
+/// Convenience configurations matching the comparison the paper implies.
+[[nodiscard]] DistOptions bsp_dolp_config(int ranks);
+[[nodiscard]] DistOptions kla_thrifty_config(int ranks);
+
+}  // namespace thrifty::dist

@@ -1,0 +1,17 @@
+#include "frontier/bitmap.hpp"
+
+#include <bit>
+
+namespace thrifty::frontier {
+
+std::uint64_t Bitmap::count() const {
+  std::uint64_t total = 0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::uint64_t>(
+        std::popcount(words_[i].load(std::memory_order_relaxed)));
+  }
+  return total;
+}
+
+}  // namespace thrifty::frontier

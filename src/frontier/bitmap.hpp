@@ -1,0 +1,74 @@
+// Concurrent bitmap used as the dense frontier representation and as the
+// visited set of the direction-optimising BFS.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace thrifty::frontier {
+
+/// Fixed-size bitmap with thread-safe set operations.  `set_atomic()`
+/// reports whether the bit transitioned 0 -> 1, which frontier code uses
+/// to insert each vertex exactly once.
+class Bitmap {
+ public:
+  Bitmap() = default;
+
+  explicit Bitmap(std::uint64_t num_bits)
+      : num_bits_(num_bits),
+        words_((num_bits + kBitsPerWord - 1) / kBitsPerWord) {
+    clear();
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return num_bits_; }
+
+  void clear() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  /// Non-atomic set; only safe when no other thread touches this word.
+  void set(std::uint64_t bit) {
+    THRIFTY_EXPECTS(bit < num_bits_);
+    auto& word = words_[bit / kBitsPerWord];
+    word.store(word.load(std::memory_order_relaxed) | mask(bit),
+               std::memory_order_relaxed);
+  }
+
+  /// Atomic set; returns true when this call flipped the bit to 1.
+  bool set_atomic(std::uint64_t bit) {
+    THRIFTY_EXPECTS(bit < num_bits_);
+    const std::uint64_t m = mask(bit);
+    const std::uint64_t old = words_[bit / kBitsPerWord].fetch_or(
+        m, std::memory_order_relaxed);
+    return (old & m) == 0;
+  }
+
+  [[nodiscard]] bool get(std::uint64_t bit) const {
+    THRIFTY_EXPECTS(bit < num_bits_);
+    return (words_[bit / kBitsPerWord].load(std::memory_order_relaxed) &
+            mask(bit)) != 0;
+  }
+
+  /// Population count (not linearisable against concurrent writers).
+  [[nodiscard]] std::uint64_t count() const;
+
+  void swap(Bitmap& other) noexcept {
+    words_.swap(other.words_);
+    std::swap(num_bits_, other.num_bits_);
+  }
+
+ private:
+  static constexpr std::uint64_t kBitsPerWord = 64;
+
+  static constexpr std::uint64_t mask(std::uint64_t bit) {
+    return std::uint64_t{1} << (bit % kBitsPerWord);
+  }
+
+  std::uint64_t num_bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace thrifty::frontier

@@ -1,0 +1,32 @@
+// Direction selection for direction-optimising traversals.  Both DO-LP
+// (Algorithm 1, Line 7) and Thrifty (Algorithm 2, Line 16) compare the
+// frontier density (|F.V| + |F.E|) / |E| against a threshold to choose
+// push (sparse) vs pull (dense) iterations.
+#pragma once
+
+#include <cstdint>
+
+namespace thrifty::frontier {
+
+/// Density of a frontier with `active_vertices` vertices whose combined
+/// degree is `active_edges`, in a graph with `total_edges` directed edges.
+[[nodiscard]] inline double frontier_density(std::uint64_t active_vertices,
+                                             std::uint64_t active_edges,
+                                             std::uint64_t total_edges) {
+  if (total_edges == 0) return 0.0;
+  return static_cast<double>(active_vertices + active_edges) /
+         static_cast<double>(total_edges);
+}
+
+/// True when the next iteration should run as a sparse push traversal.
+[[nodiscard]] inline bool is_sparse(double density, double threshold) {
+  return density < threshold;
+}
+
+/// Thresholds from the literature: the paper identifies 1% as best for
+/// Thrifty (§IV-E) and evaluates 5% (used by GraphGrind/Ligra-family
+/// systems) in Table VII.
+inline constexpr double kThriftyThreshold = 0.01;
+inline constexpr double kLigraThreshold = 0.05;
+
+}  // namespace thrifty::frontier

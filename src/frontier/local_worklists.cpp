@@ -1,0 +1,9 @@
+#include "frontier/local_worklists.hpp"
+
+#include <omp.h>
+
+namespace thrifty::frontier {
+
+int LocalWorklists::support_thread_id() { return omp_get_thread_num(); }
+
+}  // namespace thrifty::frontier

@@ -1,0 +1,92 @@
+// Sliding worklist for level-synchronous traversals (used by BFS-CC and
+// the sparse iterations of DO-LP).  A single backing array holds the
+// current window [begin, end); producers append past `end` through
+// per-thread buffers and `slide_window()` advances the window to the newly
+// appended elements.  This is the classic design of the GAP benchmark
+// suite's queue, reimplemented here.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+
+#include "graph/types.hpp"
+#include "support/assert.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace thrifty::frontier {
+
+class SlidingQueue {
+ public:
+  /// `capacity` must bound the total number of elements ever appended
+  /// across all windows (num_vertices suffices for frontiers that insert
+  /// each vertex at most once per level when paired with a bitmap).
+  explicit SlidingQueue(std::size_t capacity)
+      : storage_(capacity), tail_(0) {}
+
+  /// Appends directly (thread-safe, but one CAS per element — prefer
+  /// LocalBuffer for bulk production).
+  void push_back(graph::VertexId value) {
+    const std::size_t slot = tail_.fetch_add(1, std::memory_order_relaxed);
+    THRIFTY_EXPECTS(slot < storage_.size());
+    storage_[slot] = value;
+  }
+
+  [[nodiscard]] bool empty() const { return begin_ == end_; }
+  [[nodiscard]] std::size_t size() const { return end_ - begin_; }
+
+  [[nodiscard]] std::span<const graph::VertexId> window() const {
+    return {storage_.data() + begin_, end_ - begin_};
+  }
+
+  /// Makes everything appended since the last slide the new window.
+  void slide_window() {
+    begin_ = end_;
+    end_ = tail_.load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    begin_ = end_ = 0;
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Per-thread buffer that flushes to the shared queue in blocks,
+  /// amortising the atomic tail update.
+  class LocalBuffer {
+   public:
+    explicit LocalBuffer(SlidingQueue& queue) : queue_(queue) {}
+    ~LocalBuffer() { flush(); }
+    LocalBuffer(const LocalBuffer&) = delete;
+    LocalBuffer& operator=(const LocalBuffer&) = delete;
+
+    void push_back(graph::VertexId value) {
+      buffer_[count_++] = value;
+      if (count_ == kBufferSize) flush();
+    }
+
+    void flush() {
+      if (count_ == 0) return;
+      const std::size_t start =
+          queue_.tail_.fetch_add(count_, std::memory_order_relaxed);
+      THRIFTY_EXPECTS(start + count_ <= queue_.storage_.size());
+      for (std::size_t i = 0; i < count_; ++i) {
+        queue_.storage_[start + i] = buffer_[i];
+      }
+      count_ = 0;
+    }
+
+   private:
+    static constexpr std::size_t kBufferSize = 1024;
+    SlidingQueue& queue_;
+    std::size_t count_ = 0;
+    graph::VertexId buffer_[kBufferSize];
+  };
+
+ private:
+  support::UninitVector<graph::VertexId> storage_;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+  std::atomic<std::size_t> tail_;
+};
+
+}  // namespace thrifty::frontier

@@ -1,0 +1,50 @@
+#include "gen/barabasi_albert.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace thrifty::gen {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+EdgeList barabasi_albert_edges(const BarabasiAlbertParams& params) {
+  const VertexId n = params.num_vertices;
+  const auto m = static_cast<VertexId>(params.edges_per_vertex);
+  THRIFTY_EXPECTS(m >= 1);
+  THRIFTY_EXPECTS(n > m);
+
+  support::Xoshiro256StarStar rng(params.seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * m);
+
+  // `endpoints` lists every edge endpoint seen so far; sampling a uniform
+  // element of it samples a vertex with probability proportional to its
+  // degree (classic preferential-attachment trick).
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * m);
+
+  // Seed graph: a path over the first m+1 vertices keeps everything in one
+  // component from the start.
+  for (VertexId v = 1; v <= m; ++v) {
+    edges.push_back(Edge{v - 1, v});
+    endpoints.push_back(v - 1);
+    endpoints.push_back(v);
+  }
+
+  for (VertexId v = m + 1; v < n; ++v) {
+    for (VertexId k = 0; k < m; ++k) {
+      const VertexId target =
+          endpoints[rng.next_below(endpoints.size())];
+      edges.push_back(Edge{v, target});
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return edges;
+}
+
+}  // namespace thrifty::gen

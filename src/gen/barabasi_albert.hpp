@@ -1,0 +1,26 @@
+// Barabási–Albert preferential-attachment generator.  Produces graphs with
+// an exact power-law degree tail and a single connected component — the
+// cleanest stand-in for the paper's "Power-Law: Yes, |CC| = 1" datasets
+// (Pokec, LiveJournal Groups, Friendster).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace thrifty::gen {
+
+struct BarabasiAlbertParams {
+  graph::VertexId num_vertices = 1 << 16;
+  /// Edges each new vertex attaches with (m in the BA model).
+  int edges_per_vertex = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Sequential by nature (each step depends on the running degree
+/// distribution); uses the repeated-endpoint array so attachment is O(1)
+/// per edge.  The resulting graph is connected by construction.
+[[nodiscard]] graph::EdgeList barabasi_albert_edges(
+    const BarabasiAlbertParams& params);
+
+}  // namespace thrifty::gen

@@ -1,0 +1,64 @@
+#include "gen/combine.hpp"
+
+#include <numeric>
+
+#include "gen/simple.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace thrifty::gen {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+EdgeList disjoint_union(std::span<const EdgeList> parts,
+                        std::span<const VertexId> part_sizes) {
+  THRIFTY_EXPECTS(parts.size() == part_sizes.size());
+  std::size_t total_edges = 0;
+  for (const EdgeList& part : parts) total_edges += part.size();
+  EdgeList combined;
+  combined.reserve(total_edges);
+  VertexId shift = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (const Edge& e : parts[i]) {
+      THRIFTY_EXPECTS(e.u < part_sizes[i] && e.v < part_sizes[i]);
+      combined.push_back(Edge{e.u + shift, e.v + shift});
+    }
+    shift += part_sizes[i];
+  }
+  return combined;
+}
+
+void permute_vertex_ids(EdgeList& edges, VertexId n, std::uint64_t seed) {
+  if (n < 2) return;
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  support::Xoshiro256StarStar rng(seed);
+  for (VertexId i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.next_below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  for (Edge& e : edges) {
+    THRIFTY_EXPECTS(e.u < n && e.v < n);
+    e.u = perm[e.u];
+    e.v = perm[e.v];
+  }
+}
+
+VertexId append_satellite_components(EdgeList& edges, VertexId n,
+                                     VertexId count, VertexId size,
+                                     std::uint64_t seed) {
+  THRIFTY_EXPECTS(size >= 1);
+  VertexId next = n;
+  for (VertexId c = 0; c < count; ++c) {
+    const EdgeList tree =
+        random_tree_edges(size, support::hash_mix(seed, c + 1));
+    for (const Edge& e : tree) {
+      edges.push_back(Edge{e.u + next, e.v + next});
+    }
+    next += size;
+  }
+  return next;
+}
+
+}  // namespace thrifty::gen

@@ -1,0 +1,36 @@
+// Combinators over edge lists: disjoint unions (to build graphs with a
+// known component structure, as the paper's datasets have between 1 and
+// 5.6 M components) and vertex-id permutation (to destroy any correlation
+// between id order and structure).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace thrifty::gen {
+
+/// Disjoint union: each part's vertex ids are shifted past the previous
+/// parts'.  `part_sizes[i]` is the vertex count of `parts[i]` (parts may
+/// contain isolated vertices beyond their max endpoint, hence explicit
+/// sizes).  Returns the combined edge list; total vertex count is the sum
+/// of part sizes.
+[[nodiscard]] graph::EdgeList disjoint_union(
+    std::span<const graph::EdgeList> parts,
+    std::span<const graph::VertexId> part_sizes);
+
+/// Applies a uniformly random permutation to vertex ids in [0, n).
+void permute_vertex_ids(graph::EdgeList& edges, graph::VertexId n,
+                        std::uint64_t seed);
+
+/// Attaches `count` small random-tree components of `size` vertices each
+/// to an existing edge list over [0, n).  Models the paper's datasets with
+/// a giant component plus thousands of tiny ones (e.g. Twitter: 31,445
+/// components, ClueWeb09: 5.6 M).  Returns the new total vertex count.
+[[nodiscard]] graph::VertexId append_satellite_components(
+    graph::EdgeList& edges, graph::VertexId n, graph::VertexId count,
+    graph::VertexId size, std::uint64_t seed);
+
+}  // namespace thrifty::gen

@@ -1,0 +1,22 @@
+// Erdős–Rényi G(n, m) generator: m undirected edges sampled uniformly with
+// replacement.  Used as the non-skewed control in tests (uniform degree
+// distribution; above the connectivity threshold a giant component exists
+// but without hub vertices).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace thrifty::gen {
+
+struct ErdosRenyiParams {
+  graph::VertexId num_vertices = 1 << 16;
+  std::uint64_t num_edges = 1 << 20;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] graph::EdgeList erdos_renyi_edges(
+    const ErdosRenyiParams& params);
+
+}  // namespace thrifty::gen

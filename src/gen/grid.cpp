@@ -1,0 +1,36 @@
+#include "gen/grid.hpp"
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace thrifty::gen {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+EdgeList grid_edges(const GridParams& params) {
+  THRIFTY_EXPECTS(params.width > 0 && params.height > 0);
+  THRIFTY_EXPECTS(params.removal_fraction >= 0.0 &&
+                  params.removal_fraction < 1.0);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(params.width) * params.height * 2);
+  support::Xoshiro256StarStar rng(params.seed);
+  const bool removing = params.removal_fraction > 0.0;
+  for (VertexId y = 0; y < params.height; ++y) {
+    for (VertexId x = 0; x < params.width; ++x) {
+      const VertexId v = grid_vertex(params, x, y);
+      if (x + 1 < params.width &&
+          !(removing && rng.next_double() < params.removal_fraction)) {
+        edges.push_back(Edge{v, grid_vertex(params, x + 1, y)});
+      }
+      if (y + 1 < params.height &&
+          !(removing && rng.next_double() < params.removal_fraction)) {
+        edges.push_back(Edge{v, grid_vertex(params, x, y + 1)});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace thrifty::gen

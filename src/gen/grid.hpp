@@ -1,0 +1,34 @@
+// Road-network stand-in: 2-D grid graphs.  Road networks (GB Rd, US Rd in
+// the paper) have near-uniform low degree and very high diameter — exactly
+// the regime where disjoint-set CC beats label propagation (Table IV).  A
+// width×height grid reproduces both properties (degree ≤ 4, diameter
+// width+height-2).  `rewire_fraction` optionally deletes that fraction of
+// edges at random to mimic the irregularity of real road maps (the grid
+// may then split into several components, like real road datasets with
+// islands).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace thrifty::gen {
+
+struct GridParams {
+  graph::VertexId width = 512;
+  graph::VertexId height = 512;
+  /// Fraction of grid edges removed at random, in [0, 1).
+  double removal_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] graph::EdgeList grid_edges(const GridParams& params);
+
+/// Vertex id of grid cell (x, y), row-major.
+[[nodiscard]] inline graph::VertexId grid_vertex(const GridParams& params,
+                                                 graph::VertexId x,
+                                                 graph::VertexId y) {
+  return y * params.width + x;
+}
+
+}  // namespace thrifty::gen

@@ -1,0 +1,34 @@
+// Recursive-MATrix (R-MAT) generator, Graph500 parametrisation.  The
+// stand-in for the paper's social-network and web-crawl datasets: R-MAT
+// with the standard (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) yields a
+// heavy-tailed skewed degree distribution with a giant component, the two
+// structural properties Thrifty exploits (§III, Table I).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace thrifty::gen {
+
+struct RmatParams {
+  /// log2 of the number of vertices.
+  int scale = 16;
+  /// Undirected edges generated = edge_factor * 2^scale (before dedup).
+  int edge_factor = 16;
+  /// Recursion quadrant probabilities; must sum to ~1.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  /// d = 1 - a - b - c.
+  std::uint64_t seed = 1;
+  /// Whether to randomly permute vertex ids afterwards (Graph500 does; it
+  /// destroys the id/degree correlation R-MAT otherwise exhibits).
+  bool permute_ids = true;
+};
+
+/// Generates the R-MAT edge list (self loops and duplicates included; the
+/// CSR builder removes them).  Parallel and deterministic in `seed`.
+[[nodiscard]] graph::EdgeList rmat_edges(const RmatParams& params);
+
+}  // namespace thrifty::gen

@@ -1,0 +1,60 @@
+#include "gen/sbm.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace thrifty::gen {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+VertexId sbm_community_of(const SbmParams& params, VertexId v) {
+  THRIFTY_EXPECTS(v < params.num_vertices);
+  const VertexId block = params.num_vertices / params.communities;
+  const VertexId c = block == 0 ? 0 : v / block;
+  return c >= params.communities ? params.communities - 1 : c;
+}
+
+EdgeList sbm_edges(const SbmParams& params) {
+  THRIFTY_EXPECTS(params.communities >= 1);
+  THRIFTY_EXPECTS(params.num_vertices >= params.communities);
+  THRIFTY_EXPECTS(params.intra_degree >= 0.0 &&
+                  params.inter_degree >= 0.0);
+  const VertexId n = params.num_vertices;
+  const VertexId block = n / params.communities;
+  support::Xoshiro256StarStar rng(params.seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(
+      static_cast<double>(n) *
+      (params.intra_degree + params.inter_degree) / 2.0 * 1.1));
+
+  // Edge-count sampling: expected degree d means n*d/2 undirected edges.
+  const auto intra_edges = static_cast<std::uint64_t>(
+      static_cast<double>(n) * params.intra_degree / 2.0);
+  const auto inter_edges = static_cast<std::uint64_t>(
+      static_cast<double>(n) * params.inter_degree / 2.0);
+
+  for (std::uint64_t i = 0; i < intra_edges; ++i) {
+    // Pick a community weighted by block size (uniform vertex pick), then
+    // two uniform members of it.
+    const auto anchor = static_cast<VertexId>(rng.next_below(n));
+    const VertexId c = sbm_community_of(params, anchor);
+    const VertexId begin = c * block;
+    const VertexId end =
+        (c + 1 == params.communities) ? n : (c + 1) * block;
+    const VertexId span = end - begin;
+    edges.push_back(
+        Edge{begin + static_cast<VertexId>(rng.next_below(span)),
+             begin + static_cast<VertexId>(rng.next_below(span))});
+  }
+  for (std::uint64_t i = 0; i < inter_edges; ++i) {
+    edges.push_back(Edge{static_cast<VertexId>(rng.next_below(n)),
+                         static_cast<VertexId>(rng.next_below(n))});
+  }
+  return edges;
+}
+
+}  // namespace thrifty::gen

@@ -1,0 +1,34 @@
+// Planted-partition / stochastic block model generator: k equal-size
+// communities, dense inside, sparse across.  Used by the clustering-
+// flavoured tests and examples (the paper's introduction motivates CC as
+// a pre-pass of graph clustering), and as a degree-uniform yet
+// community-structured regime distinct from R-MAT, BA, ER and grids.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace thrifty::gen {
+
+struct SbmParams {
+  graph::VertexId num_vertices = 1 << 14;
+  /// Number of planted communities (vertex range split evenly; the last
+  /// community absorbs the remainder).
+  graph::VertexId communities = 8;
+  /// Expected intra-community edges per vertex.
+  double intra_degree = 8.0;
+  /// Expected inter-community edges per vertex; 0 makes each community
+  /// its own connected component (a graph with k equal components).
+  double inter_degree = 0.5;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] graph::EdgeList sbm_edges(const SbmParams& params);
+
+/// Community of a vertex under the deterministic layout used by
+/// `sbm_edges` (contiguous equal blocks).
+[[nodiscard]] graph::VertexId sbm_community_of(const SbmParams& params,
+                                               graph::VertexId v);
+
+}  // namespace thrifty::gen

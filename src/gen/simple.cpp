@@ -1,0 +1,65 @@
+#include "gen/simple.hpp"
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace thrifty::gen {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+EdgeList path_edges(VertexId n) {
+  EdgeList edges;
+  if (n < 2) return edges;
+  edges.reserve(n - 1);
+  for (VertexId v = 1; v < n; ++v) edges.push_back(Edge{v - 1, v});
+  return edges;
+}
+
+EdgeList cycle_edges(VertexId n) {
+  THRIFTY_EXPECTS(n >= 3);
+  EdgeList edges = path_edges(n);
+  edges.push_back(Edge{n - 1, 0});
+  return edges;
+}
+
+EdgeList star_edges(VertexId n, VertexId center) {
+  THRIFTY_EXPECTS(center < n);
+  EdgeList edges;
+  edges.reserve(n - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v != center) edges.push_back(Edge{center, v});
+  }
+  return edges;
+}
+
+EdgeList clique_edges(VertexId n) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  }
+  return edges;
+}
+
+EdgeList random_tree_edges(VertexId n, std::uint64_t seed) {
+  support::Xoshiro256StarStar rng(seed);
+  EdgeList edges;
+  if (n < 2) return edges;
+  edges.reserve(n - 1);
+  for (VertexId v = 1; v < n; ++v) {
+    edges.push_back(Edge{v, static_cast<VertexId>(rng.next_below(v))});
+  }
+  return edges;
+}
+
+EdgeList figure2_example_edges() {
+  // A=0 (fringe) - B=1 - C=2 - core {D=3, E=4, F=5}; E has max degree 3.
+  // Diameter 4 (A to F), so structure-oblivious label propagation from A
+  // needs 4 iterations, matching the discussion of Figure 2.
+  return EdgeList{Edge{0, 1}, Edge{1, 2}, Edge{2, 4},
+                  Edge{3, 4}, Edge{4, 5}, Edge{3, 5}};
+}
+
+}  // namespace thrifty::gen

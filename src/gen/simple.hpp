@@ -1,0 +1,36 @@
+// Deterministic elementary graph shapes used throughout the test suite and
+// the didactic examples: paths, cycles, stars, cliques, random trees, and
+// the paper's Figure-2 example graph.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace thrifty::gen {
+
+/// Path 0-1-2-...-(n-1).  Diameter n-1; worst case for label propagation.
+[[nodiscard]] graph::EdgeList path_edges(graph::VertexId n);
+
+/// Cycle over n vertices.
+[[nodiscard]] graph::EdgeList cycle_edges(graph::VertexId n);
+
+/// Star: vertex `center` connected to all others in [0, n).
+[[nodiscard]] graph::EdgeList star_edges(graph::VertexId n,
+                                         graph::VertexId center = 0);
+
+/// Complete graph on n vertices.
+[[nodiscard]] graph::EdgeList clique_edges(graph::VertexId n);
+
+/// Uniformly random spanning tree shape: each vertex v>0 attaches to a
+/// uniform random earlier vertex.  Connected, n-1 edges.
+[[nodiscard]] graph::EdgeList random_tree_edges(graph::VertexId n,
+                                                std::uint64_t seed = 1);
+
+/// The 6-vertex example of Figure 2 of the paper: fringe vertex A=0
+/// attached through B=1 to a core {C=2, D=3, E=4, F=5}.  Vertex E has the
+/// maximum degree.  Used by the wavefront demo and the tests that check
+/// iteration-by-iteration label movement.
+[[nodiscard]] graph::EdgeList figure2_example_edges();
+
+}  // namespace thrifty::gen

@@ -1,0 +1,32 @@
+#include "gen/small_world.hpp"
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace thrifty::gen {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+EdgeList small_world_edges(const SmallWorldParams& params) {
+  const VertexId n = params.num_vertices;
+  THRIFTY_EXPECTS(n > 2 * static_cast<VertexId>(params.k));
+  THRIFTY_EXPECTS(params.k >= 1);
+  THRIFTY_EXPECTS(params.beta >= 0.0 && params.beta <= 1.0);
+  support::Xoshiro256StarStar rng(params.seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * params.k);
+  for (VertexId v = 0; v < n; ++v) {
+    for (int j = 1; j <= params.k; ++j) {
+      VertexId target = (v + static_cast<VertexId>(j)) % n;
+      if (rng.next_double() < params.beta) {
+        target = static_cast<VertexId>(rng.next_below(n));
+      }
+      edges.push_back(Edge{v, target});
+    }
+  }
+  return edges;
+}
+
+}  // namespace thrifty::gen

@@ -1,0 +1,26 @@
+// Watts–Strogatz small-world generator: a ring lattice with each edge
+// rewired to a random endpoint with probability beta.  Used in tests as a
+// low-diameter, non-skewed graph family (distinct from both R-MAT and
+// grids) to exercise the algorithms on a third structural regime.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace thrifty::gen {
+
+struct SmallWorldParams {
+  graph::VertexId num_vertices = 1 << 14;
+  /// Each vertex connects to `k` nearest neighbours on each side of the
+  /// ring (degree 2k before rewiring).
+  int k = 4;
+  /// Rewiring probability.
+  double beta = 0.1;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] graph::EdgeList small_world_edges(
+    const SmallWorldParams& params);
+
+}  // namespace thrifty::gen

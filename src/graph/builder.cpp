@@ -1,0 +1,150 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace thrifty::graph {
+
+namespace {
+
+using support::UninitVector;
+
+/// Exclusive prefix sum of per-vertex degree counts, producing CSR offsets.
+UninitVector<EdgeOffset> exclusive_scan_degrees(
+    const std::vector<std::atomic<EdgeOffset>>& degrees) {
+  UninitVector<EdgeOffset> offsets(degrees.size() + 1);
+  EdgeOffset running = 0;
+  for (std::size_t v = 0; v < degrees.size(); ++v) {
+    offsets[v] = running;
+    running += degrees[v].load(std::memory_order_relaxed);
+  }
+  offsets[degrees.size()] = running;
+  return offsets;
+}
+
+}  // namespace
+
+BuildResult build_csr(const EdgeList& edges, VertexId num_vertices,
+                      const BuildOptions& options) {
+  const std::size_t m = edges.size();
+
+  // Pass 1: count directed degrees (both endpoints of every kept edge).
+  std::vector<std::atomic<EdgeOffset>> degrees(num_vertices);
+  support::parallel_for(num_vertices, [&](VertexId v) {
+    degrees[v].store(0, std::memory_order_relaxed);
+  });
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    const Edge e = edges[i];
+    THRIFTY_EXPECTS(e.u < num_vertices && e.v < num_vertices);
+    if (options.remove_self_loops && e.u == e.v) continue;
+    degrees[e.u].fetch_add(1, std::memory_order_relaxed);
+    degrees[e.v].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  UninitVector<EdgeOffset> offsets = exclusive_scan_degrees(degrees);
+  UninitVector<VertexId> neighbors(offsets.back());
+
+  // Pass 2: scatter neighbours, reusing `degrees` as per-vertex fill
+  // cursors (reset to 0 first).
+  support::parallel_for(num_vertices, [&](VertexId v) {
+    degrees[v].store(0, std::memory_order_relaxed);
+  });
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    const Edge e = edges[i];
+    if (options.remove_self_loops && e.u == e.v) continue;
+    const EdgeOffset slot_u =
+        offsets[e.u] + degrees[e.u].fetch_add(1, std::memory_order_relaxed);
+    neighbors[slot_u] = e.v;
+    const EdgeOffset slot_v =
+        offsets[e.v] + degrees[e.v].fetch_add(1, std::memory_order_relaxed);
+    neighbors[slot_v] = e.u;
+  }
+
+  // Pass 3: sort adjacency lists; optionally deduplicate in place, tracking
+  // the deduplicated degree per vertex.
+  UninitVector<EdgeOffset> final_degree(num_vertices);
+  support::parallel_for_dynamic(num_vertices, [&](VertexId v) {
+    VertexId* first = neighbors.data() + offsets[v];
+    VertexId* last = neighbors.data() + offsets[v + 1];
+    std::sort(first, last);
+    if (options.deduplicate_edges) {
+      last = std::unique(first, last);
+    }
+    final_degree[v] = static_cast<EdgeOffset>(last - first);
+  });
+
+  // Pass 4: compact the neighbour array to the deduplicated degrees and,
+  // when requested, drop zero-degree vertices and renumber.
+  BuildResult result;
+  const bool compact_vertices = options.remove_zero_degree_vertices;
+  std::vector<VertexId> old_to_new;
+  VertexId new_n = num_vertices;
+  if (compact_vertices) {
+    old_to_new.assign(num_vertices, BuildResult::kDroppedVertex);
+    VertexId next = 0;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      if (final_degree[v] > 0) old_to_new[v] = next++;
+    }
+    new_n = next;
+  }
+
+  UninitVector<EdgeOffset> new_offsets(static_cast<std::size_t>(new_n) + 1);
+  {
+    EdgeOffset running = 0;
+    VertexId out = 0;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      if (compact_vertices && final_degree[v] == 0) continue;
+      new_offsets[out++] = running;
+      running += final_degree[v];
+    }
+    THRIFTY_ASSERT(out == new_n);
+    new_offsets[new_n] = running;
+  }
+
+  UninitVector<VertexId> new_neighbors(new_offsets.back());
+  {
+    // Gather per kept vertex; remap neighbour ids when compacting.
+    UninitVector<EdgeOffset> src_start(new_n);
+    UninitVector<VertexId> old_id(new_n);
+    VertexId out = 0;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      if (compact_vertices && final_degree[v] == 0) continue;
+      src_start[out] = offsets[v];
+      old_id[out] = v;
+      ++out;
+    }
+    support::parallel_for_dynamic(new_n, [&](VertexId nv) {
+      const EdgeOffset count = new_offsets[nv + 1] - new_offsets[nv];
+      const VertexId* src = neighbors.data() + src_start[nv];
+      VertexId* dst = new_neighbors.data() + new_offsets[nv];
+      for (EdgeOffset k = 0; k < count; ++k) {
+        const VertexId nb = src[k];
+        dst[k] = compact_vertices ? old_to_new[nb] : nb;
+      }
+    });
+  }
+
+  result.graph = CsrGraph(std::move(new_offsets), std::move(new_neighbors));
+  result.old_to_new = std::move(old_to_new);
+  return result;
+}
+
+BuildResult build_csr(const EdgeList& edges, const BuildOptions& options) {
+  VertexId max_id = 0;
+  bool any = false;
+  for (const Edge& e : edges) {
+    max_id = std::max({max_id, e.u, e.v});
+    any = true;
+  }
+  return build_csr(edges, any ? max_id + 1 : 0, options);
+}
+
+}  // namespace thrifty::graph

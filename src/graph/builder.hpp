@@ -1,0 +1,50 @@
+// Builds immutable CSR graphs from coordinate-format edge lists.
+//
+// The pipeline follows the dataset preparation of §V-A of the paper:
+//   1. drop self loops (optional, default on),
+//   2. symmetrise — materialise both directions of every undirected edge,
+//   3. counting-sort into CSR,
+//   4. sort each adjacency list and remove duplicate edges (optional,
+//      default on),
+//   5. remove zero-degree vertices and compact vertex ids (optional,
+//      default on; the paper removes them "because of their destructive
+//      effect").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace thrifty::graph {
+
+struct BuildOptions {
+  bool remove_self_loops = true;
+  bool deduplicate_edges = true;
+  bool remove_zero_degree_vertices = true;
+};
+
+/// Result of building: the graph plus, when vertex compaction ran, the
+/// mapping from original vertex id to compacted id (`kDroppedVertex` for
+/// removed zero-degree vertices).
+struct BuildResult {
+  static constexpr VertexId kDroppedVertex = static_cast<VertexId>(-1);
+
+  CsrGraph graph;
+  /// original id -> new id; empty when no compaction was requested.
+  std::vector<VertexId> old_to_new;
+};
+
+/// Builds a CSR graph over vertices [0, num_vertices) from `edges`.
+/// Endpoints must be < num_vertices.  Parallel (OpenMP) throughout.
+[[nodiscard]] BuildResult build_csr(const EdgeList& edges,
+                                    VertexId num_vertices,
+                                    const BuildOptions& options = {});
+
+/// Convenience: builds with `num_vertices = max endpoint + 1` (0 vertices
+/// for an empty list).
+[[nodiscard]] BuildResult build_csr(const EdgeList& edges,
+                                    const BuildOptions& options = {});
+
+}  // namespace thrifty::graph

@@ -1,0 +1,77 @@
+#include "graph/csr_graph.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "support/parallel.hpp"
+
+namespace thrifty::graph {
+
+CsrGraph::CsrGraph(support::UninitVector<EdgeOffset> offsets,
+                   support::UninitVector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  THRIFTY_EXPECTS(!offsets_.empty());
+  THRIFTY_EXPECTS(offsets_.front() == 0);
+  THRIFTY_EXPECTS(offsets_.back() == neighbors_.size());
+  const VertexId n = num_vertices();
+  EdgeOffset loops = 0;
+#pragma omp parallel for schedule(static) reduction(+ : loops)
+  for (VertexId v = 0; v < n; ++v) {
+    THRIFTY_EXPECTS(offsets_[v] <= offsets_[v + 1]);
+    for (EdgeOffset e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+      THRIFTY_EXPECTS(neighbors_[e] < n);
+      loops += (neighbors_[e] == v) ? 1 : 0;
+    }
+  }
+  self_loops_ = loops;
+}
+
+VertexId CsrGraph::max_degree_vertex() const {
+  THRIFTY_EXPECTS(!empty());
+  const VertexId n = num_vertices();
+  // Per-thread maxima, combined serially — Lines 5-8 of Algorithm 2.
+  const int max_threads = support::num_threads();
+  std::vector<EdgeOffset> max_degrees(static_cast<std::size_t>(max_threads),
+                                      0);
+  std::vector<VertexId> max_ids(static_cast<std::size_t>(max_threads), 0);
+#pragma omp parallel
+  {
+    const auto t = static_cast<std::size_t>(omp_get_thread_num());
+    EdgeOffset best_degree = 0;
+    VertexId best_id = 0;
+    bool seen = false;
+#pragma omp for schedule(static) nowait
+    for (VertexId v = 0; v < n; ++v) {
+      const EdgeOffset d = offsets_[v + 1] - offsets_[v];
+      if (!seen || d > best_degree) {
+        best_degree = d;
+        best_id = v;
+        seen = true;
+      }
+    }
+    if (seen) {
+      max_degrees[t] = best_degree;
+      max_ids[t] = best_id;
+    } else {
+      max_ids[t] = n;  // sentinel: thread saw no vertices
+    }
+  }
+  EdgeOffset best_degree = 0;
+  VertexId best_id = 0;
+  bool found = false;
+  for (std::size_t t = 0; t < max_degrees.size(); ++t) {
+    if (max_ids[t] == n) continue;
+    if (!found || max_degrees[t] > best_degree ||
+        (max_degrees[t] == best_degree && max_ids[t] < best_id)) {
+      best_degree = max_degrees[t];
+      best_id = max_ids[t];
+      found = true;
+    }
+  }
+  THRIFTY_ENSURES(found);
+  return best_id;
+}
+
+}  // namespace thrifty::graph

@@ -1,0 +1,82 @@
+// Compressed sparse row/column representation of an undirected graph.
+// Because the graph is undirected and we store both directions of every
+// edge (as the paper does, to support push and pull traversals), the row
+// and column representations coincide.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/assert.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace thrifty::graph {
+
+/// Immutable undirected graph in CSR form.
+///
+/// `num_directed_edges()` counts each undirected edge twice (once per
+/// direction), matching the |E| neighbour-id entries of §V-A.
+/// `num_undirected_edges()` is that halved, plus any self loops retained.
+/// Built through `GraphBuilder` (see builder.hpp); algorithms only read.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays.  `offsets` must have
+  /// `num_vertices + 1` entries, be non-decreasing, start at 0 and end at
+  /// `neighbors.size()`; neighbour ids must be < num_vertices.  Checked.
+  CsrGraph(support::UninitVector<EdgeOffset> offsets,
+           support::UninitVector<VertexId> neighbors);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets_.empty() ? 0
+                            : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  [[nodiscard]] EdgeOffset num_directed_edges() const {
+    return neighbors_.size();
+  }
+
+  [[nodiscard]] EdgeOffset num_undirected_edges() const {
+    return (neighbors_.size() + self_loops_) / 2;
+  }
+
+  [[nodiscard]] EdgeOffset degree(VertexId v) const {
+    THRIFTY_EXPECTS(v < num_vertices());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    THRIFTY_EXPECTS(v < num_vertices());
+    return {neighbors_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// Raw CSR arrays for algorithms that index manually (partitioners,
+  /// instrumented kernels).
+  [[nodiscard]] std::span<const EdgeOffset> offsets() const {
+    return {offsets_.data(), offsets_.size()};
+  }
+  [[nodiscard]] std::span<const VertexId> neighbor_array() const {
+    return {neighbors_.data(), neighbors_.size()};
+  }
+
+  [[nodiscard]] bool empty() const { return num_vertices() == 0; }
+
+  /// Vertex of maximum degree (smallest id on ties); the planting site of
+  /// the zero label.  Precondition: non-empty graph.
+  [[nodiscard]] VertexId max_degree_vertex() const;
+
+  /// Number of self loops retained in the neighbour array (0 after the
+  /// default builder pipeline, which removes them).
+  [[nodiscard]] EdgeOffset self_loop_count() const { return self_loops_; }
+
+ private:
+  support::UninitVector<EdgeOffset> offsets_;
+  support::UninitVector<VertexId> neighbors_;
+  EdgeOffset self_loops_ = 0;
+};
+
+}  // namespace thrifty::graph

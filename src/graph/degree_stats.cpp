@@ -1,0 +1,64 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+
+namespace thrifty::graph {
+
+DegreeStats compute_degree_stats(const CsrGraph& graph) {
+  DegreeStats stats;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return stats;
+
+  std::vector<EdgeOffset> degrees(n);
+  support::parallel_for(n,
+                        [&](VertexId v) { degrees[v] = graph.degree(v); });
+
+  std::sort(degrees.begin(), degrees.end());
+  stats.min_degree = degrees.front();
+  stats.max_degree = degrees.back();
+  const double total = static_cast<double>(graph.num_directed_edges());
+  stats.mean_degree = total / static_cast<double>(n);
+  stats.median_degree =
+      (n % 2 == 1)
+          ? static_cast<double>(degrees[n / 2])
+          : (static_cast<double>(degrees[n / 2 - 1] + degrees[n / 2])) / 2.0;
+
+  const VertexId top = std::max<VertexId>(1, n / 100);
+  EdgeOffset top_edges = 0;
+  for (VertexId i = 0; i < top; ++i) top_edges += degrees[n - 1 - i];
+  stats.top1pct_edge_share =
+      total > 0 ? static_cast<double>(top_edges) / total : 0.0;
+
+  std::uint64_t above = 0;
+  for (EdgeOffset d : degrees) {
+    if (static_cast<double>(d) > stats.mean_degree) ++above;
+  }
+  stats.fraction_above_mean =
+      static_cast<double>(above) / static_cast<double>(n);
+  return stats;
+}
+
+std::vector<std::uint64_t> log2_degree_histogram(const CsrGraph& graph) {
+  std::vector<std::uint64_t> histogram;
+  const VertexId n = graph.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeOffset d = graph.degree(v);
+    const auto bucket = static_cast<std::size_t>(
+        d <= 1 ? 0 : std::floor(std::log2(static_cast<double>(d))));
+    if (bucket >= histogram.size()) histogram.resize(bucket + 1, 0);
+    ++histogram[bucket];
+  }
+  return histogram;
+}
+
+bool looks_power_law(const CsrGraph& graph, double edge_share_threshold) {
+  if (graph.num_vertices() == 0) return false;
+  return compute_degree_stats(graph).top1pct_edge_share >=
+         edge_share_threshold;
+}
+
+}  // namespace thrifty::graph

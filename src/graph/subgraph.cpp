@@ -1,0 +1,60 @@
+#include "graph/subgraph.hpp"
+
+#include "support/assert.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace thrifty::graph {
+
+SubgraphResult induced_subgraph(
+    const CsrGraph& graph, const std::function<bool(VertexId)>& keep) {
+  const VertexId n = graph.num_vertices();
+  SubgraphResult result;
+  result.old_to_new.assign(n, SubgraphResult::kNotSelected);
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (keep(v)) {
+      result.old_to_new[v] =
+          static_cast<VertexId>(result.new_to_old.size());
+      result.new_to_old.push_back(v);
+    }
+  }
+  const auto new_n = static_cast<VertexId>(result.new_to_old.size());
+
+  // Count retained degree per new vertex, then fill.
+  support::UninitVector<EdgeOffset> offsets(
+      static_cast<std::size_t>(new_n) + 1);
+  offsets[0] = 0;
+  for (VertexId nv = 0; nv < new_n; ++nv) {
+    EdgeOffset retained = 0;
+    for (const VertexId u : graph.neighbors(result.new_to_old[nv])) {
+      if (result.old_to_new[u] != SubgraphResult::kNotSelected) {
+        ++retained;
+      }
+    }
+    offsets[nv + 1] = offsets[nv] + retained;
+  }
+  support::UninitVector<VertexId> neighbors(offsets[new_n]);
+#pragma omp parallel for schedule(dynamic, 512)
+  for (VertexId nv = 0; nv < new_n; ++nv) {
+    EdgeOffset out = offsets[nv];
+    for (const VertexId u : graph.neighbors(result.new_to_old[nv])) {
+      const VertexId mapped = result.old_to_new[u];
+      if (mapped != SubgraphResult::kNotSelected) {
+        neighbors[out++] = mapped;  // stays sorted: mapping is monotone
+      }
+    }
+    THRIFTY_ASSERT(out == offsets[nv + 1]);
+  }
+  result.graph = CsrGraph(std::move(offsets), std::move(neighbors));
+  return result;
+}
+
+SubgraphResult component_subgraph(const CsrGraph& graph,
+                                  std::span<const Label> labels,
+                                  Label label) {
+  THRIFTY_EXPECTS(labels.size() == graph.num_vertices());
+  return induced_subgraph(
+      graph, [&](VertexId v) { return labels[v] == label; });
+}
+
+}  // namespace thrifty::graph

@@ -1,0 +1,36 @@
+// Induced-subgraph extraction: given a vertex predicate (most commonly
+// "member of component X", using a CC labelling), build the subgraph on
+// the selected vertices with compacted ids.  Downstream users routinely
+// run CC precisely to split a graph this way (clustering pipelines,
+// §I of the paper).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace thrifty::graph {
+
+struct SubgraphResult {
+  CsrGraph graph;
+  /// new id -> original id.
+  std::vector<VertexId> new_to_old;
+  /// original id -> new id, or kNotSelected.
+  std::vector<VertexId> old_to_new;
+
+  static constexpr VertexId kNotSelected = static_cast<VertexId>(-1);
+};
+
+/// Builds the subgraph induced by { v : keep(v) }.  Edges with either
+/// endpoint outside the selection are dropped; adjacency stays sorted.
+[[nodiscard]] SubgraphResult induced_subgraph(
+    const CsrGraph& graph,
+    const std::function<bool(VertexId)>& keep);
+
+/// Convenience: the subgraph of all vertices whose label equals `label`.
+[[nodiscard]] SubgraphResult component_subgraph(
+    const CsrGraph& graph, std::span<const Label> labels, Label label);
+
+}  // namespace thrifty::graph

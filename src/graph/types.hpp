@@ -1,0 +1,34 @@
+// Fundamental graph types.  Matching §V-A of the paper: vertex ids and
+// labels are 4 bytes, CSR index (offset) values are 8 bytes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace thrifty::graph {
+
+/// Vertex identifier.  4 bytes, supporting graphs up to ~4.2 B vertices.
+using VertexId = std::uint32_t;
+
+/// Edge offset into the CSR neighbour array.  8 bytes: edge counts in the
+/// paper's evaluation reach 15.6 B, beyond 32 bits.
+using EdgeOffset = std::uint64_t;
+
+/// Component label.  Same width as a vertex id (§V-A: "4 bytes data as
+/// label of a vertex").
+using Label = std::uint32_t;
+
+/// An undirected edge as an (unordered) pair of endpoints.
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Coordinate-format edge list, the exchange format between generators,
+/// I/O and the CSR builder.  Each undirected edge appears once.
+using EdgeList = std::vector<Edge>;
+
+}  // namespace thrifty::graph

@@ -1,0 +1,50 @@
+#include "instrument/csv_export.hpp"
+
+#include <ostream>
+
+namespace thrifty::instrument {
+
+namespace {
+
+constexpr const char* kIterationHeader =
+    "algorithm,iteration,direction,density,active_vertices,"
+    "label_changes,converged_vertices,edges_processed,time_ms\n";
+
+void write_rows(std::ostream& out, const RunStats& stats) {
+  for (const IterationRecord& it : stats.iterations) {
+    out << stats.algorithm << ',' << it.index << ','
+        << to_string(it.direction) << ',' << it.density << ','
+        << it.active_vertices << ',' << it.label_changes << ','
+        << it.converged_vertices << ',' << it.edges_processed << ','
+        << it.time_ms << '\n';
+  }
+}
+
+}  // namespace
+
+void write_iterations_csv(std::ostream& out, const RunStats& stats) {
+  out << kIterationHeader;
+  write_rows(out, stats);
+}
+
+void write_iterations_csv(std::ostream& out,
+                          const std::vector<RunStats>& runs) {
+  out << kIterationHeader;
+  for (const RunStats& stats : runs) write_rows(out, stats);
+}
+
+void write_summary_csv(std::ostream& out,
+                       const std::vector<RunStats>& runs) {
+  out << "algorithm,total_ms,iterations,edges_processed,label_reads,"
+         "label_writes,cas_attempts,frontier_pushes,skipped_converged\n";
+  for (const RunStats& stats : runs) {
+    const EventCounters& e = stats.events;
+    out << stats.algorithm << ',' << stats.total_ms << ','
+        << stats.num_iterations << ',' << e.edges_processed << ','
+        << e.label_reads << ',' << e.label_writes << ','
+        << e.cas_attempts << ',' << e.frontier_pushes << ','
+        << e.skipped_converged << '\n';
+  }
+}
+
+}  // namespace thrifty::instrument

@@ -1,0 +1,30 @@
+// CSV export of run statistics, so the per-iteration curves behind the
+// paper's figures can be re-plotted with external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "instrument/run_stats.hpp"
+
+namespace thrifty::instrument {
+
+/// Writes one row per iteration:
+///   algorithm,iteration,direction,density,active_vertices,
+///   label_changes,converged_vertices,edges_processed,time_ms
+/// A header row is emitted first.
+void write_iterations_csv(std::ostream& out, const RunStats& stats);
+
+/// Multiple runs in one file (e.g. DO-LP and Thrifty curves side by
+/// side, as Figures 7-8 plot them).
+void write_iterations_csv(std::ostream& out,
+                          const std::vector<RunStats>& runs);
+
+/// One summary row per run:
+///   algorithm,total_ms,iterations,edges_processed,label_reads,
+///   label_writes,cas_attempts,frontier_pushes,skipped_converged
+void write_summary_csv(std::ostream& out,
+                       const std::vector<RunStats>& runs);
+
+}  // namespace thrifty::instrument

@@ -1,0 +1,19 @@
+#include "instrument/run_stats.hpp"
+
+namespace thrifty::instrument {
+
+const char* to_string(Direction direction) {
+  switch (direction) {
+    case Direction::kPush:
+      return "Push";
+    case Direction::kPull:
+      return "Pull";
+    case Direction::kPullFrontier:
+      return "Pull-Frontier";
+    case Direction::kInitialPush:
+      return "Initial-Push";
+  }
+  return "?";
+}
+
+}  // namespace thrifty::instrument

@@ -1,0 +1,66 @@
+// Per-iteration and whole-run execution records.  These back every
+// "has Thrifty reached its goals?" experiment of §V-C: iteration counts
+// (Table V), per-iteration direction/density/time (Tables VI–VII),
+// convergence curves (Figures 3, 7, 8) and work reduction (Figures 5, 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instrument/counters.hpp"
+
+namespace thrifty::instrument {
+
+enum class Direction {
+  kPush,
+  kPull,
+  /// Pull iteration that additionally materialises a detailed frontier
+  /// just before switching to push traversals (§IV-E).
+  kPullFrontier,
+  /// Thrifty's Initial Push of the zero label (§IV-D).
+  kInitialPush,
+};
+
+[[nodiscard]] const char* to_string(Direction direction);
+
+struct IterationRecord {
+  int index = 0;
+  Direction direction = Direction::kPull;
+  /// Frontier density (|F.V| + |F.E|) / |E| observed when choosing the
+  /// direction; negative when the iteration's direction was forced.
+  double density = -1.0;
+  /// Vertices active at the start of the iteration.
+  std::uint64_t active_vertices = 0;
+  /// Vertices whose label changed during the iteration.
+  std::uint64_t label_changes = 0;
+  /// Cumulative count of vertices converged to their final label at the
+  /// END of this iteration (only filled in instrumented runs: measuring
+  /// it needs the final labels).
+  std::uint64_t converged_vertices = 0;
+  /// Edges processed within this iteration (instrumented runs).
+  std::uint64_t edges_processed = 0;
+  double time_ms = 0.0;
+};
+
+struct RunStats {
+  std::string algorithm;
+  double total_ms = 0.0;
+  /// Number of iterations (for Thrifty this counts the Initial Push as an
+  /// iteration, as §V-C does).
+  int num_iterations = 0;
+  std::vector<IterationRecord> iterations;
+  /// Software event totals (zero in non-instrumented runs).
+  EventCounters events;
+  bool instrumented = false;
+
+  /// Fraction of directed edges processed, given the graph's edge count.
+  [[nodiscard]] double edges_processed_fraction(
+      std::uint64_t total_directed_edges) const {
+    if (total_directed_edges == 0) return 0.0;
+    return static_cast<double>(events.edges_processed) /
+           static_cast<double>(total_directed_edges);
+  }
+};
+
+}  // namespace thrifty::instrument

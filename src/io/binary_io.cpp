@@ -1,0 +1,65 @@
+#include "io/binary_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "support/uninit_vector.hpp"
+
+namespace thrifty::io {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'T', 'H', 'R', 'F',
+                                        'T', 'Y', 'G', '1'};
+
+void write_raw(std::ofstream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw std::runtime_error("binary graph: write failed");
+}
+
+void read_raw(std::ifstream& in, void* data, std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw std::runtime_error("binary graph: truncated file");
+  }
+}
+
+}  // namespace
+
+void write_csr_file(const std::string& path, const graph::CsrGraph& graph) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_raw(out, kMagic.data(), kMagic.size());
+  const std::uint64_t n = graph.num_vertices();
+  const std::uint64_t m = graph.num_directed_edges();
+  write_raw(out, &n, sizeof n);
+  write_raw(out, &m, sizeof m);
+  write_raw(out, graph.offsets().data(),
+            graph.offsets().size_bytes());
+  write_raw(out, graph.neighbor_array().data(),
+            graph.neighbor_array().size_bytes());
+}
+
+graph::CsrGraph read_csr_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::array<char, 8> magic{};
+  read_raw(in, magic.data(), magic.size());
+  if (magic != kMagic) {
+    throw std::runtime_error("binary graph: bad magic in " + path);
+  }
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  read_raw(in, &n, sizeof n);
+  read_raw(in, &m, sizeof m);
+  support::UninitVector<graph::EdgeOffset> offsets(n + 1);
+  support::UninitVector<graph::VertexId> neighbors(m);
+  read_raw(in, offsets.data(), offsets.size() * sizeof(graph::EdgeOffset));
+  read_raw(in, neighbors.data(), neighbors.size() * sizeof(graph::VertexId));
+  return graph::CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace thrifty::io

@@ -1,0 +1,25 @@
+// Compact binary CSR snapshot format, so large generated graphs can be
+// built once and memory-mapped-speed loaded by benchmarks.
+//
+// Layout (little-endian):
+//   magic   "THRFTYG1"            8 bytes
+//   n       vertex count          8 bytes
+//   m       directed edge count   8 bytes
+//   offsets (n+1) * 8 bytes
+//   neighbors m * 4 bytes
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace thrifty::io {
+
+/// Serialises a CSR graph.  Throws std::runtime_error on I/O failure.
+void write_csr_file(const std::string& path, const graph::CsrGraph& graph);
+
+/// Loads a CSR graph.  Throws std::runtime_error on I/O failure, bad magic
+/// or truncated payload.
+[[nodiscard]] graph::CsrGraph read_csr_file(const std::string& path);
+
+}  // namespace thrifty::io

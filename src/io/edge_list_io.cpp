@@ -1,0 +1,76 @@
+#include "io/edge_list_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace thrifty::io {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+namespace {
+
+/// Parses one unsigned integer starting at `pos` in `line`, skipping
+/// leading whitespace.  Advances `pos` past the number.
+bool parse_vertex(const std::string& line, std::size_t& pos, VertexId& out) {
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t' ||
+                               line[pos] == '\r')) {
+    ++pos;
+  }
+  if (pos >= line.size()) return false;
+  const char* begin = line.data() + pos;
+  const char* end = line.data() + line.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr == begin) return false;
+  pos = static_cast<std::size_t>(ptr - line.data());
+  return true;
+}
+
+}  // namespace
+
+EdgeList read_edge_list(std::istream& in) {
+  EdgeList edges;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::size_t pos = 0;
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] == '#' || line[pos] == '%') continue;
+    Edge e{};
+    if (!parse_vertex(line, pos, e.u) || !parse_vertex(line, pos, e.v)) {
+      throw std::runtime_error("edge list: malformed line " +
+                               std::to_string(line_number) + ": '" + line +
+                               "'");
+    }
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+EdgeList read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list file: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const EdgeList& edges) {
+  for (const Edge& e : edges) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for write: " + path);
+  write_edge_list(out, edges);
+}
+
+}  // namespace thrifty::io

@@ -1,0 +1,27 @@
+// Plain-text edge list I/O: one "u v" pair per line, '#' or '%' comment
+// lines ignored — the de-facto format of SNAP / KONECT / Network
+// Repository dumps the paper's datasets ship in.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace thrifty::io {
+
+/// Parses an edge list from a stream.  Throws std::runtime_error on
+/// malformed lines (non-numeric tokens, missing endpoint).
+[[nodiscard]] graph::EdgeList read_edge_list(std::istream& in);
+
+/// Parses an edge list from a file.  Throws std::runtime_error when the
+/// file cannot be opened or is malformed.
+[[nodiscard]] graph::EdgeList read_edge_list_file(const std::string& path);
+
+/// Writes one edge per line.
+void write_edge_list(std::ostream& out, const graph::EdgeList& edges);
+
+void write_edge_list_file(const std::string& path,
+                          const graph::EdgeList& edges);
+
+}  // namespace thrifty::io

@@ -1,0 +1,100 @@
+#include "io/matrix_market_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace thrifty::io {
+
+using graph::Edge;
+using graph::VertexId;
+
+MatrixMarketGraph read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    throw std::runtime_error("matrix market: missing %%MatrixMarket header");
+  }
+  {
+    std::istringstream header(line);
+    std::string banner;
+    std::string object;
+    std::string format;
+    header >> banner >> object >> format;
+    if (object != "matrix" || format != "coordinate") {
+      throw std::runtime_error(
+          "matrix market: only 'matrix coordinate' supported, got: " + line);
+    }
+  }
+
+  // Skip comment lines, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t entries = 0;
+  {
+    std::istringstream size_line(line);
+    if (!(size_line >> rows >> cols >> entries)) {
+      throw std::runtime_error("matrix market: malformed size line: " + line);
+    }
+  }
+  if (rows != cols) {
+    throw std::runtime_error("matrix market: adjacency matrix must be square");
+  }
+
+  MatrixMarketGraph result;
+  result.num_vertices = static_cast<VertexId>(rows);
+  result.edges.reserve(entries);
+  std::uint64_t seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    std::uint64_t r = 0;
+    std::uint64_t c = 0;
+    if (!(entry >> r >> c)) {
+      throw std::runtime_error("matrix market: malformed entry: " + line);
+    }
+    if (r == 0 || c == 0 || r > rows || c > cols) {
+      throw std::runtime_error("matrix market: index out of range: " + line);
+    }
+    result.edges.push_back(Edge{static_cast<VertexId>(r - 1),
+                                static_cast<VertexId>(c - 1)});
+    ++seen;
+  }
+  if (seen != entries) {
+    throw std::runtime_error("matrix market: fewer entries than declared");
+  }
+  return result;
+}
+
+MatrixMarketGraph read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open matrix market: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const graph::EdgeList& edges,
+                         VertexId num_vertices) {
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << num_vertices << ' ' << num_vertices << ' ' << edges.size() << '\n';
+  for (const Edge& e : edges) {
+    // Symmetric storage convention: row >= column (lower triangle).
+    const VertexId hi = e.u >= e.v ? e.u : e.v;
+    const VertexId lo = e.u >= e.v ? e.v : e.u;
+    out << (hi + 1) << ' ' << (lo + 1) << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const graph::EdgeList& edges,
+                              VertexId num_vertices) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_matrix_market(out, edges, num_vertices);
+}
+
+}  // namespace thrifty::io

@@ -1,0 +1,34 @@
+// Matrix Market coordinate format ("%%MatrixMarket matrix coordinate ...
+// symmetric") — the exchange format of the SuiteSparse collection and the
+// Laboratory for Web Algorithms exports used by the paper.  Only the
+// pattern is read; numeric values on data lines are ignored.  Indices in
+// the file are 1-based per the specification.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace thrifty::io {
+
+struct MatrixMarketGraph {
+  graph::VertexId num_vertices = 0;
+  graph::EdgeList edges;
+};
+
+/// Throws std::runtime_error on malformed headers or entries.
+[[nodiscard]] MatrixMarketGraph read_matrix_market(std::istream& in);
+
+[[nodiscard]] MatrixMarketGraph read_matrix_market_file(
+    const std::string& path);
+
+/// Writes a symmetric pattern matrix with one entry per undirected edge.
+void write_matrix_market(std::ostream& out, const graph::EdgeList& edges,
+                         graph::VertexId num_vertices);
+
+void write_matrix_market_file(const std::string& path,
+                              const graph::EdgeList& edges,
+                              graph::VertexId num_vertices);
+
+}  // namespace thrifty::io

@@ -1,0 +1,50 @@
+#include "partition/edge_partitioner.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace thrifty::partition {
+
+using graph::EdgeOffset;
+using graph::VertexId;
+
+std::vector<VertexRange> edge_balanced_partitions(
+    const graph::CsrGraph& graph, std::size_t count) {
+  THRIFTY_EXPECTS(count > 0);
+  const auto offsets = graph.offsets();
+  const VertexId n = graph.num_vertices();
+  const EdgeOffset m = graph.num_directed_edges();
+  std::vector<VertexRange> ranges(count);
+  VertexId previous_cut = 0;
+  for (std::size_t p = 0; p < count; ++p) {
+    // Target edge offset at the end of partition p.
+    const EdgeOffset target =
+        static_cast<EdgeOffset>((static_cast<unsigned __int128>(m) *
+                                 (p + 1)) /
+                                count);
+    // First vertex whose starting offset is >= target.
+    const auto it = std::lower_bound(offsets.begin() + previous_cut,
+                                     offsets.begin() + n + 1, target);
+    auto cut = static_cast<VertexId>(it - offsets.begin());
+    cut = std::min(cut, n);
+    cut = std::max(cut, previous_cut);
+    ranges[p] = VertexRange{previous_cut, cut};
+    previous_cut = cut;
+  }
+  ranges.back().end = n;  // absorb any rounding remainder
+  if (ranges.size() > 1) {
+    THRIFTY_ENSURES(ranges.back().begin <= ranges.back().end);
+  }
+  return ranges;
+}
+
+EdgeOffset edges_in_range(const graph::CsrGraph& graph,
+                          const VertexRange& range) {
+  const auto offsets = graph.offsets();
+  THRIFTY_EXPECTS(range.end <= graph.num_vertices());
+  THRIFTY_EXPECTS(range.begin <= range.end);
+  return offsets[range.end] - offsets[range.begin];
+}
+
+}  // namespace thrifty::partition

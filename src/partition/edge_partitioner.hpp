@@ -1,0 +1,34 @@
+// Edge-balanced vertex partitioning (§V-A of the paper): the vertex range
+// is cut into contiguous partitions with approximately equal numbers of
+// directed edges, so skewed degree distributions do not leave one thread
+// holding all the hubs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace thrifty::partition {
+
+struct VertexRange {
+  graph::VertexId begin = 0;
+  graph::VertexId end = 0;
+
+  [[nodiscard]] graph::VertexId size() const { return end - begin; }
+  friend bool operator==(const VertexRange&, const VertexRange&) = default;
+};
+
+/// Splits [0, num_vertices) into `count` contiguous ranges of roughly
+/// equal directed-edge mass, via binary search over the CSR offsets.
+/// Ranges are non-overlapping, cover all vertices, and some may be empty
+/// when count exceeds the number of vertices.
+[[nodiscard]] std::vector<VertexRange> edge_balanced_partitions(
+    const graph::CsrGraph& graph, std::size_t count);
+
+/// Number of directed edges whose source lies in `range`.
+[[nodiscard]] graph::EdgeOffset edges_in_range(const graph::CsrGraph& graph,
+                                               const VertexRange& range);
+
+}  // namespace thrifty::partition

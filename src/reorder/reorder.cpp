@@ -1,0 +1,135 @@
+#include "reorder/reorder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace thrifty::reorder {
+
+using graph::CsrGraph;
+using graph::EdgeOffset;
+using graph::VertexId;
+
+Permutation identity_order(VertexId n) {
+  Permutation perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  return perm;
+}
+
+namespace {
+
+Permutation degree_order(const CsrGraph& graph, bool descending) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return descending ? graph.degree(a) > graph.degree(b)
+                                       : graph.degree(a) < graph.degree(b);
+                   });
+  Permutation perm(n);
+  for (VertexId rank = 0; rank < n; ++rank) {
+    perm[by_degree[rank]] = rank;
+  }
+  return perm;
+}
+
+}  // namespace
+
+Permutation degree_descending_order(const CsrGraph& graph) {
+  return degree_order(graph, /*descending=*/true);
+}
+
+Permutation degree_ascending_order(const CsrGraph& graph) {
+  return degree_order(graph, /*descending=*/false);
+}
+
+Permutation bfs_order(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  Permutation perm(n, n);  // n == unassigned sentinel
+  if (n == 0) return perm;
+  VertexId next_id = 0;
+  std::deque<VertexId> queue;
+  const VertexId root = graph.max_degree_vertex();
+  perm[root] = next_id++;
+  queue.push_back(root);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const VertexId u : graph.neighbors(v)) {
+      if (perm[u] == n) {
+        perm[u] = next_id++;
+        queue.push_back(u);
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (perm[v] == n) perm[v] = next_id++;
+  }
+  THRIFTY_ENSURES(next_id == n);
+  return perm;
+}
+
+Permutation random_order(VertexId n, std::uint64_t seed) {
+  Permutation perm = identity_order(n);
+  support::Xoshiro256StarStar rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  return perm;
+}
+
+CsrGraph apply_permutation(const CsrGraph& graph, const Permutation& perm) {
+  const VertexId n = graph.num_vertices();
+  THRIFTY_EXPECTS(perm.size() == n);
+  support::UninitVector<EdgeOffset> offsets(static_cast<std::size_t>(n) +
+                                            1);
+  // New degrees.
+  offsets[0] = 0;
+  {
+    std::vector<EdgeOffset> degree(n);
+#pragma omp parallel for schedule(static)
+    for (VertexId v = 0; v < n; ++v) {
+      degree[perm[v]] = graph.degree(v);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      offsets[v + 1] = offsets[v] + degree[v];
+    }
+  }
+  support::UninitVector<VertexId> neighbors(graph.num_directed_edges());
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId nv = perm[v];
+    VertexId* out = neighbors.data() + offsets[nv];
+    std::size_t k = 0;
+    for (const VertexId u : graph.neighbors(v)) {
+      out[k++] = perm[u];
+    }
+    std::sort(out, out + k);
+  }
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+Permutation inverse_permutation(const Permutation& perm) {
+  Permutation inverse(perm.size());
+  for (VertexId v = 0; v < perm.size(); ++v) {
+    THRIFTY_EXPECTS(perm[v] < perm.size());
+    inverse[perm[v]] = v;
+  }
+  return inverse;
+}
+
+bool is_permutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const VertexId p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+}  // namespace thrifty::reorder

@@ -1,0 +1,56 @@
+// Vertex relabeling (reordering) — a substrate the paper's introduction
+// cites as a CC consumer ("locality optimizing graph relabeling") and a
+// lens on §III-C: in label propagation the initial label *is* the vertex
+// id, so renumbering the graph is exactly re-assigning initial labels.
+// Descending-degree order gives hubs the smallest ids — the
+// structure-aware assignment §III-C argues for — which lets us measure
+// Zero Planting's benefit against "what if the graph were already
+// renumbered well".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace thrifty::reorder {
+
+/// A permutation: `perm[old_id] == new_id`.  Always a bijection on
+/// [0, num_vertices).
+using Permutation = std::vector<graph::VertexId>;
+
+/// Identity permutation.
+[[nodiscard]] Permutation identity_order(graph::VertexId n);
+
+/// Descending-degree order: the highest-degree vertex becomes id 0.
+/// Ties broken by old id (stable), keeping the result deterministic.
+[[nodiscard]] Permutation degree_descending_order(
+    const graph::CsrGraph& graph);
+
+/// Ascending-degree order (the adversarial counterpart: hubs get the
+/// largest ids, fringe vertices the smallest labels).
+[[nodiscard]] Permutation degree_ascending_order(
+    const graph::CsrGraph& graph);
+
+/// BFS visit order from the maximum-degree vertex (hub-centred locality
+/// order); vertices unreachable from the hub are appended in old-id
+/// order.
+[[nodiscard]] Permutation bfs_order(const graph::CsrGraph& graph);
+
+/// Uniformly random permutation (seeded).
+[[nodiscard]] Permutation random_order(graph::VertexId n,
+                                       std::uint64_t seed);
+
+/// Rebuilds the graph under a permutation: new vertex `perm[v]` has the
+/// relabelled adjacency of old vertex `v` (sorted).
+[[nodiscard]] graph::CsrGraph apply_permutation(
+    const graph::CsrGraph& graph, const Permutation& perm);
+
+/// Inverse permutation: `inverse(p)[p[v]] == v`.
+[[nodiscard]] Permutation inverse_permutation(const Permutation& perm);
+
+/// Validates that `perm` is a bijection on [0, n).
+[[nodiscard]] bool is_permutation(const Permutation& perm);
+
+}  // namespace thrifty::reorder

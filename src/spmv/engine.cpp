@@ -1,0 +1,15 @@
+#include "spmv/engine.hpp"
+
+namespace thrifty::spmv {
+
+const char* to_string(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kAsynchronous:
+      return "async";
+    case ExecutionMode::kSynchronous:
+      return "sync";
+  }
+  return "?";
+}
+
+}  // namespace thrifty::spmv

@@ -1,0 +1,286 @@
+// Direction-optimising engine for monotone min-combine vertex programs
+// (see program.hpp).  Generalises the Thrifty machinery:
+//
+//   * kAsynchronous mode uses a single value array (Unified Labels
+//     generalised): relaxations observe values produced within the same
+//     iteration, collapsing wavefronts.
+//   * kSynchronous mode keeps old/new arrays with an end-of-iteration
+//     copy — the classic SpMV/DO-LP semantics, kept for the paper's
+//     "unified arrays vs asynchronous execution" comparison (§VII).
+//   * When the program declares kHasBottom, vertices holding the bottom
+//     value are skipped and neighbour scans stop on seeing bottom
+//     (Zero Convergence generalised).
+//   * The program's seed set is pushed before any full pass (Initial
+//     Push generalised); pull iterations then take over by density, with
+//     a Pull-Frontier pass before switching to push traversals.
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <vector>
+
+#include "frontier/density.hpp"
+#include "frontier/local_worklists.hpp"
+#include "graph/csr_graph.hpp"
+#include "instrument/run_stats.hpp"
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+#include "support/timer.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace thrifty::spmv {
+
+enum class ExecutionMode {
+  kAsynchronous,  ///< unified value array (Thrifty-style)
+  kSynchronous,   ///< old/new arrays with end-of-iteration sync
+};
+
+[[nodiscard]] const char* to_string(ExecutionMode mode);
+
+struct EngineOptions {
+  double density_threshold = frontier::kThriftyThreshold;
+  ExecutionMode mode = ExecutionMode::kAsynchronous;
+  /// Push the program's seeds before the first full pass (generalised
+  /// Initial Push).  With it off, the run starts with a full pull.
+  bool seed_push = true;
+};
+
+template <typename Program>
+struct EngineResult {
+  support::UninitVector<typename Program::Value> values;
+  instrument::RunStats stats;
+};
+
+namespace detail {
+
+template <typename Value>
+bool atomic_min_value(Value& slot, Value candidate) {
+  std::atomic_ref<Value> ref(slot);
+  Value current = ref.load(std::memory_order_relaxed);
+  while (candidate < current) {
+    if (ref.compare_exchange_weak(current, candidate,
+                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename Value>
+Value load_value(const Value& slot) {
+  return std::atomic_ref<const Value>(slot).load(
+      std::memory_order_relaxed);
+}
+
+template <typename Value>
+void store_value(Value& slot, Value value) {
+  std::atomic_ref<Value>(slot).store(value, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+/// Runs `program` to its fixed point.  Values decrease monotonically, so
+/// the fixed point exists and equals the exact min-propagation solution.
+template <typename Program>
+EngineResult<Program> run_min_propagation(const graph::CsrGraph& g,
+                                          const Program& program,
+                                          const EngineOptions& options = {}) {
+  using Value = typename Program::Value;
+  using graph::VertexId;
+  using instrument::Direction;
+  using instrument::IterationRecord;
+
+  const VertexId n = g.num_vertices();
+  const auto m = g.num_directed_edges();
+
+  EngineResult<Program> result;
+  result.stats.algorithm =
+      std::string("spmv-") + to_string(options.mode);
+  result.values = support::UninitVector<Value>(n);
+  if (n == 0) return result;
+
+  const bool synchronous = options.mode == ExecutionMode::kSynchronous;
+  support::UninitVector<Value> old_values(synchronous ? n : 0);
+  auto& values = result.values;
+
+  support::Timer total_timer;
+#pragma omp parallel for schedule(static)
+  for (VertexId v = 0; v < n; ++v) {
+    values[v] = program.init(v);
+    if (synchronous) old_values[v] = values[v];
+  }
+
+  const int threads = support::num_threads();
+  frontier::LocalWorklists current(n, threads);
+  frontier::LocalWorklists next(n, threads);
+
+  const Value bottom = program.bottom();
+  std::uint64_t active_vertices = 0;
+  std::uint64_t active_edges = 0;
+  std::uint64_t edges_processed = 0;
+  bool have_frontier = false;
+  bool full_pull_done = false;
+  int iteration = 0;
+
+  const std::vector<VertexId> seeds = program.seeds(g);
+  if (options.seed_push && !seeds.empty()) {
+    IterationRecord rec;
+    rec.index = 0;
+    rec.direction = Direction::kInitialPush;
+    rec.active_vertices = seeds.size();
+    std::uint64_t seed_edges = 0;
+    for (const VertexId s : seeds) seed_edges += g.degree(s);
+    rec.density =
+        frontier::frontier_density(seeds.size(), seed_edges, m);
+    support::Timer iteration_timer;
+
+    std::uint64_t changes = 0;
+    std::uint64_t changed_edges = 0;
+    std::uint64_t processed = 0;
+#pragma omp parallel reduction(+ : changes, changed_edges, processed)
+    {
+      const int t = omp_get_thread_num();
+#pragma omp for schedule(dynamic, 1) nowait
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        const VertexId s = seeds[i];
+        const Value vs = detail::load_value(values[s]);
+        for (const VertexId u : g.neighbors(s)) {
+          ++processed;
+          const Value candidate = program.relax(s, u, vs);
+          if (detail::atomic_min_value(values[u], candidate)) {
+            if (next.push(t, u)) {
+              ++changes;
+              changed_edges += g.degree(u);
+            }
+          }
+        }
+      }
+    }
+    if (synchronous) {
+#pragma omp parallel for schedule(static)
+      for (VertexId v = 0; v < n; ++v) old_values[v] = values[v];
+    }
+    edges_processed += processed;
+    active_vertices = changes;
+    active_edges = changed_edges;
+    rec.label_changes = changes;
+    rec.edges_processed = processed;
+    rec.time_ms = iteration_timer.elapsed_ms();
+    result.stats.iterations.push_back(rec);
+    current.clear();
+    current.swap(next);
+    have_frontier = true;
+    iteration = 1;
+  } else {
+    active_vertices = n;
+    active_edges = m;
+  }
+
+  // Value-source for relaxations: the unified array in asynchronous
+  // mode, the previous iteration's snapshot in synchronous mode.
+  auto source_value = [&](VertexId v) -> Value {
+    return synchronous ? old_values[v] : detail::load_value(values[v]);
+  };
+
+  while (active_vertices > 0) {
+    IterationRecord rec;
+    rec.index = iteration;
+    rec.active_vertices = active_vertices;
+    rec.density =
+        frontier::frontier_density(active_vertices, active_edges, m);
+    support::Timer iteration_timer;
+
+    const bool sparse =
+        frontier::is_sparse(rec.density, options.density_threshold);
+    std::uint64_t changes = 0;
+    std::uint64_t changed_edges = 0;
+    std::uint64_t processed = 0;
+
+    if (sparse && have_frontier && full_pull_done) {
+      rec.direction = Direction::kPush;
+      std::atomic<std::uint64_t> processed_atomic{0};
+      current.process_with_stealing([&](int t, VertexId v) {
+        const Value vv = source_value(v);
+        std::uint64_t local = 0;
+        for (const VertexId u : g.neighbors(v)) {
+          ++local;
+          const Value candidate = program.relax(v, u, vv);
+          if (detail::atomic_min_value(values[u], candidate)) {
+            next.push(t, u);
+          }
+        }
+        processed_atomic.fetch_add(local, std::memory_order_relaxed);
+      });
+      processed = processed_atomic.load();
+      for (int t = 0; t < next.num_threads(); ++t) {
+        for (const VertexId v : next.list(t)) {
+          ++changes;
+          changed_edges += g.degree(v);
+        }
+      }
+      current.clear();
+      current.swap(next);
+      have_frontier = true;
+    } else {
+      const bool build_frontier = sparse;
+      rec.direction = build_frontier ? Direction::kPullFrontier
+                                     : Direction::kPull;
+#pragma omp parallel reduction(+ : changes, changed_edges, processed)
+      {
+        const int t = omp_get_thread_num();
+#pragma omp for schedule(dynamic, 256) nowait
+        for (VertexId v = 0; v < n; ++v) {
+          const Value vv = detail::load_value(values[v]);
+          if (Program::kHasBottom && vv == bottom) continue;
+          Value new_value = vv;
+          for (const VertexId u : g.neighbors(v)) {
+            ++processed;
+            const Value candidate =
+                program.relax(u, v, source_value(u));
+            if (candidate < new_value) {
+              new_value = candidate;
+              if (Program::kHasBottom && new_value == bottom) break;
+            }
+          }
+          if (new_value < vv) {
+            detail::store_value(values[v], new_value);
+            ++changes;
+            changed_edges += g.degree(v);
+            if (build_frontier) next.push(t, v);
+          }
+        }
+      }
+      current.clear();
+      if (build_frontier) {
+        current.swap(next);
+        have_frontier = true;
+      } else {
+        have_frontier = false;
+      }
+      full_pull_done = true;
+    }
+
+    if (synchronous) {
+#pragma omp parallel for schedule(static)
+      for (VertexId v = 0; v < n; ++v) old_values[v] = values[v];
+    }
+
+    edges_processed += processed;
+    rec.label_changes = changes;
+    rec.edges_processed = processed;
+    rec.time_ms = iteration_timer.elapsed_ms();
+    result.stats.iterations.push_back(rec);
+    active_vertices = changes;
+    active_edges = changed_edges;
+    ++iteration;
+  }
+
+  result.stats.total_ms = total_timer.elapsed_ms();
+  result.stats.num_iterations = iteration;
+  result.stats.events.edges_processed = edges_processed;
+  result.stats.instrumented = true;
+  return result;
+}
+
+}  // namespace thrifty::spmv

@@ -1,0 +1,160 @@
+// Generalised SpMV vertex programs — the paper's future-work direction
+// (§VII): "how [the Thrifty] techniques can be generalized to other
+// algorithms expressed in the SpMV model", and "the connection between
+// the unified arrays optimization and asynchronous execution".
+//
+// The engine (engine.hpp) runs any *monotone min-combine* program: vertex
+// values come from a totally ordered set, edges relax a neighbour's value
+// into a candidate, and a vertex keeps the minimum candidate ever seen.
+// This covers the tropical-semiring family — connected components, BFS
+// levels, weighted shortest paths, multi-source reachability — which is
+// exactly the class where Thrifty's optimisations carry over:
+//
+//   * Unified value array  == asynchronous execution (relaxations see
+//     values produced in the same iteration);
+//   * Zero Convergence     == bottom-element convergence (a vertex whose
+//     value reached the program's declared minimum can never improve);
+//   * Zero Planting +
+//     Initial Push         == seeding (the program's seed set is pushed
+//     before any full pass).
+//
+// A program provides:
+//   using Value = <integral type>;
+//   static constexpr bool kHasBottom;      // bottom-element convergence?
+//   Value bottom() const;                   // only used when kHasBottom
+//   Value init(VertexId v) const;           // initial value of v
+//   Value relax(VertexId src, VertexId dst, Value x) const;
+//     // candidate delivered to dst when src holds x; must be monotone
+//     // (x <= y implies relax(..,x) <= relax(..,y)) and must never
+//     // produce a value below bottom().
+//   std::vector<VertexId> seeds(const CsrGraph&) const;
+//     // vertices whose values start below everyone else's; the engine
+//     // performs the Initial-Push from them.  May be empty.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+#include "support/random.hpp"
+
+namespace thrifty::spmv {
+
+/// Connected components as an SpMV program: Thrifty's exact semantics
+/// (values v+1, bottom 0 planted on the max-degree vertex).
+struct CcProgram {
+  using Value = std::uint32_t;
+  static constexpr bool kHasBottom = true;
+
+  explicit CcProgram(const graph::CsrGraph& g)
+      : hub_(g.empty() ? 0 : g.max_degree_vertex()) {}
+
+  Value bottom() const { return 0; }
+  Value init(graph::VertexId v) const { return v == hub_ ? 0 : v + 1; }
+  Value relax(graph::VertexId, graph::VertexId, Value x) const { return x; }
+  std::vector<graph::VertexId> seeds(const graph::CsrGraph&) const {
+    return {hub_};
+  }
+
+  graph::VertexId hub() const { return hub_; }
+
+ private:
+  graph::VertexId hub_;
+};
+
+/// BFS levels from a single source (unweighted shortest paths).  No
+/// bottom-element convergence: any level except the source's own 0 can
+/// still improve while the computation runs.
+struct BfsLevelProgram {
+  using Value = std::uint32_t;
+  static constexpr bool kHasBottom = false;
+  static constexpr Value kUnreached =
+      std::numeric_limits<Value>::max();
+
+  explicit BfsLevelProgram(graph::VertexId source) : source_(source) {}
+
+  Value bottom() const { return 0; }
+  Value init(graph::VertexId v) const {
+    return v == source_ ? 0 : kUnreached;
+  }
+  Value relax(graph::VertexId, graph::VertexId, Value x) const {
+    return x == kUnreached ? kUnreached : x + 1;
+  }
+  std::vector<graph::VertexId> seeds(const graph::CsrGraph&) const {
+    return {source_};
+  }
+
+ private:
+  graph::VertexId source_;
+};
+
+/// Single-source shortest paths with synthetic integer edge weights
+/// derived from a hash of the endpoints (our CSR is unweighted; the
+/// functional weights are deterministic and symmetric).
+struct SsspProgram {
+  using Value = std::uint64_t;
+  static constexpr bool kHasBottom = false;
+  static constexpr Value kUnreached =
+      std::numeric_limits<Value>::max();
+
+  SsspProgram(graph::VertexId source, std::uint64_t weight_seed,
+              std::uint32_t max_weight = 16)
+      : source_(source), seed_(weight_seed), max_weight_(max_weight) {}
+
+  Value bottom() const { return 0; }
+  Value init(graph::VertexId v) const {
+    return v == source_ ? 0 : kUnreached;
+  }
+  Value relax(graph::VertexId src, graph::VertexId dst, Value x) const {
+    if (x == kUnreached) return kUnreached;
+    return x + weight(src, dst);
+  }
+  std::vector<graph::VertexId> seeds(const graph::CsrGraph&) const {
+    return {source_};
+  }
+
+  /// Symmetric deterministic weight in [1, max_weight].
+  std::uint64_t weight(graph::VertexId u, graph::VertexId v) const {
+    const auto lo = u < v ? u : v;
+    const auto hi = u < v ? v : u;
+    return 1 + support::hash_mix(seed_,
+                                 (static_cast<std::uint64_t>(hi) << 32) |
+                                     lo) %
+                   max_weight_;
+  }
+
+ private:
+  graph::VertexId source_;
+  std::uint64_t seed_;
+  std::uint32_t max_weight_;
+};
+
+/// Multi-source reachability: value 1 = unreached, 0 = reached.  The OR
+/// of "reached" bits is a min over {0, 1}, and 0 is a true bottom — the
+/// cleanest demonstration that Zero Convergence generalises beyond CC.
+struct ReachabilityProgram {
+  using Value = std::uint8_t;
+  static constexpr bool kHasBottom = true;
+
+  explicit ReachabilityProgram(std::vector<graph::VertexId> sources)
+      : sources_(std::move(sources)) {}
+
+  Value bottom() const { return 0; }
+  Value init(graph::VertexId v) const {
+    for (const graph::VertexId s : sources_) {
+      if (s == v) return 0;
+    }
+    return 1;
+  }
+  Value relax(graph::VertexId, graph::VertexId, Value x) const { return x; }
+  std::vector<graph::VertexId> seeds(const graph::CsrGraph&) const {
+    return sources_;
+  }
+
+ private:
+  std::vector<graph::VertexId> sources_;
+};
+
+}  // namespace thrifty::spmv

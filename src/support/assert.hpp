@@ -1,0 +1,36 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures).  Violations abort with a source location so
+// that broken invariants fail loudly in both debug and release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace thrifty::support {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "thrifty: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace thrifty::support
+
+// Precondition on function arguments / ambient state.
+#define THRIFTY_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::thrifty::support::contract_failure("precondition", #cond,    \
+                                                 __FILE__, __LINE__))
+
+// Postcondition / internal invariant.
+#define THRIFTY_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::thrifty::support::contract_failure("postcondition", #cond,   \
+                                                 __FILE__, __LINE__))
+
+// General assertion for states that should be unreachable.
+#define THRIFTY_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::thrifty::support::contract_failure("assertion", #cond,       \
+                                                 __FILE__, __LINE__))

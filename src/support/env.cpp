@@ -1,0 +1,43 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace thrifty::support {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const auto text = env_string(name);
+  if (!text) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text->c_str(), &end, 10);
+  if (end == text->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+Scale bench_scale() {
+  const auto text = env_string("THRIFTY_SCALE");
+  if (!text) return Scale::kSmall;
+  if (*text == "tiny") return Scale::kTiny;
+  if (*text == "large") return Scale::kLarge;
+  return Scale::kSmall;
+}
+
+const char* to_string(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return "tiny";
+    case Scale::kLarge:
+      return "large";
+    case Scale::kSmall:
+      break;
+  }
+  return "small";
+}
+
+}  // namespace thrifty::support

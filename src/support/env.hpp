@@ -1,0 +1,28 @@
+// Environment-variable driven configuration for benchmarks and examples.
+// The paper's evaluation ran fixed dataset sizes on two servers; on an
+// arbitrary host we scale the synthetic stand-ins through THRIFTY_SCALE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace thrifty::support {
+
+/// Returns the value of environment variable `name`, if set and non-empty.
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+
+/// Returns `name` parsed as a 64-bit integer, or `fallback` when unset or
+/// unparsable.
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Dataset scaling selected by THRIFTY_SCALE=tiny|small|large.
+enum class Scale { kTiny, kSmall, kLarge };
+
+/// Reads THRIFTY_SCALE (default: small).  Unknown values fall back to small.
+[[nodiscard]] Scale bench_scale();
+
+/// Human-readable name of a scale value.
+[[nodiscard]] const char* to_string(Scale scale);
+
+}  // namespace thrifty::support

@@ -1,0 +1,53 @@
+// Small numeric helpers shared by the statistics and benchmark reporting
+// code: geometric means (Figure 1 reports geomean speedups) and percentile
+// selection for timing summaries.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace thrifty::support {
+
+/// Geometric mean of strictly positive values.
+[[nodiscard]] inline double geomean(std::span<const double> values) {
+  THRIFTY_EXPECTS(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    THRIFTY_EXPECTS(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/// Arithmetic mean.
+[[nodiscard]] inline double mean(std::span<const double> values) {
+  THRIFTY_EXPECTS(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// q-th percentile (q in [0,1]) by nearest-rank on a copy of the data.
+[[nodiscard]] inline double percentile(std::span<const double> values,
+                                       double q) {
+  THRIFTY_EXPECTS(!values.empty());
+  THRIFTY_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[rank];
+}
+
+/// Integer ceiling division for non-negative operands.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T numerator, T denominator) {
+  return (numerator + denominator - 1) / denominator;
+}
+
+}  // namespace thrifty::support

@@ -1,0 +1,51 @@
+// Monotonic wall-clock timing used by the benchmark harness and the
+// per-iteration instrumentation of the CC algorithms.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace thrifty::support {
+
+/// A simple monotonic stopwatch.  `elapsed_ms()` may be sampled repeatedly;
+/// `restart()` resets the origin.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals, e.g. to sum the
+/// time spent in pull iterations only.
+class AccumulatingTimer {
+ public:
+  void start() { timer_.restart(); }
+  void stop() { total_ms_ += timer_.elapsed_ms(); }
+  void reset() { total_ms_ = 0.0; }
+  [[nodiscard]] double total_ms() const { return total_ms_; }
+
+ private:
+  Timer timer_;
+  double total_ms_ = 0.0;
+};
+
+}  // namespace thrifty::support

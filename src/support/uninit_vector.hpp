@@ -1,0 +1,49 @@
+// std::vector zero-initialises on resize, which for multi-gigabyte label
+// and offset arrays both wastes a full memory pass and (with first-touch
+// NUMA policies) places every page on the resizing thread.  This allocator
+// makes value-initialisation of trivial element types a no-op so the first
+// touch happens inside the parallel initialisation loop of the algorithm.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace thrifty::support {
+
+template <typename T, typename Base = std::allocator<T>>
+class UninitAllocator : public Base {
+ public:
+  using value_type = T;
+
+  template <typename U>
+  struct rebind {
+    using other =
+        UninitAllocator<U, typename std::allocator_traits<
+                               Base>::template rebind_alloc<U>>;
+  };
+
+  using Base::Base;
+
+  // Value-initialisation (what vector::resize performs) becomes a no-op for
+  // trivially default-constructible types; all other construction forwards.
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    if constexpr (!std::is_trivially_default_constructible_v<U>) {
+      ::new (static_cast<void*>(ptr)) U;
+    }
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<Base>::construct(static_cast<Base&>(*this), ptr,
+                                           std::forward<Args>(args)...);
+  }
+};
+
+/// Vector whose resize leaves trivial elements uninitialised.
+template <typename T>
+using UninitVector = std::vector<T, UninitAllocator<T>>;
+
+}  // namespace thrifty::support

@@ -1,0 +1,175 @@
+// Tests for src/bench_common: the dataset registry's structural promises
+// (Table II regimes), the timing harness, and the table printer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/harness.hpp"
+#include "bench_common/table_printer.hpp"
+#include "cc_baselines/registry.hpp"
+#include "core/verify.hpp"
+#include "graph/degree_stats.hpp"
+#include "support/env.hpp"
+
+namespace thrifty::bench {
+namespace {
+
+using support::Scale;
+
+TEST(Datasets, RegistryCoversBothStructuralClasses) {
+  EXPECT_GE(all_datasets().size(), 12u);
+  EXPECT_GE(skewed_datasets().size(), 10u);
+  EXPECT_EQ(road_datasets().size(), 2u);
+}
+
+TEST(Datasets, LookupWorks) {
+  EXPECT_NE(find_dataset("twitter"), nullptr);
+  EXPECT_NE(find_dataset("gb_road"), nullptr);
+  EXPECT_EQ(find_dataset("bogus"), nullptr);
+}
+
+TEST(Datasets, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(DatasetKind::kRoadNetwork), "Road Network");
+  EXPECT_STREQ(to_string(DatasetKind::kWebGraph), "Web Graph");
+}
+
+class DatasetStructure
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetStructure, TinyBuildMatchesDeclaredClass) {
+  const DatasetSpec* spec = find_dataset(GetParam());
+  ASSERT_NE(spec, nullptr);
+  const graph::CsrGraph g = build_dataset(*spec, Scale::kTiny);
+  ASSERT_GT(g.num_vertices(), 0u);
+  ASSERT_GT(g.num_directed_edges(), 0u);
+  if (spec->power_law) {
+    EXPECT_TRUE(graph::looks_power_law(g)) << spec->name;
+  } else {
+    EXPECT_FALSE(graph::looks_power_law(g)) << spec->name;
+    // Road stand-ins: bounded degree.
+    EXPECT_LE(graph::compute_degree_stats(g).max_degree, 4u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetStructure,
+    ::testing::Values("gb_road", "us_road", "pokec", "wiki", "ljournal",
+                      "ljgroups", "twitter", "webbase", "friendster",
+                      "sk_domain", "webcc", "uk_domain", "clueweb"),
+    [](const auto& param_info) { return param_info.param; });
+
+TEST(Datasets, SkewedStandInsHaveGiantComponent) {
+  // Table I regime: the max-degree vertex's component holds >= ~94% of
+  // vertices.  Checked on a representative subset at tiny scale.
+  for (const char* name : {"pokec", "twitter", "friendster"}) {
+    const DatasetSpec* spec = find_dataset(name);
+    ASSERT_NE(spec, nullptr);
+    const graph::CsrGraph g = build_dataset(*spec, Scale::kTiny);
+    const auto result = baselines::run_algorithm(
+        *baselines::find_algorithm("reference"), g);
+    const auto giant = core::largest_component(result.label_span());
+    const double share = static_cast<double>(giant.size) /
+                         static_cast<double>(g.num_vertices());
+    EXPECT_GT(share, 0.90) << name;
+    // And the max-degree vertex is inside it.
+    EXPECT_EQ(result.labels[g.max_degree_vertex()], giant.label) << name;
+  }
+}
+
+TEST(Datasets, ScalesAreOrdered) {
+  const DatasetSpec* spec = find_dataset("pokec");
+  ASSERT_NE(spec, nullptr);
+  const auto tiny = build_dataset(*spec, Scale::kTiny);
+  const auto small = build_dataset(*spec, Scale::kSmall);
+  EXPECT_LT(tiny.num_vertices(), small.num_vertices());
+}
+
+TEST(Datasets, BuildsAreDeterministic) {
+  const DatasetSpec* spec = find_dataset("wiki");
+  ASSERT_NE(spec, nullptr);
+  const auto a = build_dataset(*spec, Scale::kTiny);
+  const auto b = build_dataset(*spec, Scale::kTiny);
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  for (graph::VertexId v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+TEST(Harness, TimesAndVerifies) {
+  const DatasetSpec* spec = find_dataset("pokec");
+  const graph::CsrGraph g = build_dataset(*spec, Scale::kTiny);
+  HarnessOptions options;
+  options.warmup_runs = 0;
+  options.trials = 2;
+  const TimingResult timing = time_algorithm(
+      *baselines::find_algorithm("thrifty"), g, options);
+  EXPECT_EQ(timing.trials, 2);
+  EXPECT_GE(timing.mean_ms, timing.min_ms);
+  EXPECT_EQ(timing.last.labels.size(), g.num_vertices());
+  EXPECT_TRUE(core::verify_labels(g, timing.last.label_span()).valid);
+}
+
+TEST(Harness, DefaultTrialsRespectsEnv) {
+  ::setenv("THRIFTY_BENCH_TRIALS", "7", 1);
+  EXPECT_EQ(default_trials(), 7);
+  ::setenv("THRIFTY_BENCH_TRIALS", "0", 1);
+  EXPECT_EQ(default_trials(), 1);  // clamped to >= 1
+  ::unsetenv("THRIFTY_BENCH_TRIALS");
+  EXPECT_EQ(default_trials(), 3);
+}
+
+TEST(Harness, DescribeGraphMentionsCounts) {
+  const graph::CsrGraph g =
+      build_dataset(*find_dataset("gb_road"), Scale::kTiny);
+  const std::string description = describe_graph(g);
+  EXPECT_NE(description.find("|V| = "), std::string::npos);
+  EXPECT_NE(description.find("|E| = "), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Dataset", "ms"});
+  table.add_row({"twitter", "12.5"});
+  table.add_row({"x", "3"});
+  const std::string out = table.to_string();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Right-aligned numeric column: "3" is padded.
+  EXPECT_NE(out.find("   3\n"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::fmt_ms(1.234), "1.23");
+  EXPECT_EQ(TablePrinter::fmt_ms(123.46), "123.5");
+  EXPECT_EQ(TablePrinter::fmt_ratio(0.5), "0.50");
+  EXPECT_EQ(TablePrinter::fmt_percent(0.014), "1.4%");
+  EXPECT_EQ(TablePrinter::fmt_count(42), "42");
+}
+
+
+TEST(Datasets, TinyCensusRegression) {
+  // Pins the tiny-scale structural census so accidental registry edits
+  // (seeds, scale shifts, satellite counts) are caught immediately.
+  // Update deliberately when the registry changes.
+  struct Expected {
+    const char* name;
+    graph::VertexId vertices;
+  };
+  const Expected expected[] = {
+      {"gb_road", 1024},    {"us_road", 3136},  {"pokec", 8192},
+      {"ljgroups", 8192},   {"twitter", 12842}, {"friendster", 13224},
+  };
+  for (const auto& e : expected) {
+    const DatasetSpec* spec = find_dataset(e.name);
+    ASSERT_NE(spec, nullptr);
+    const graph::CsrGraph g = build_dataset(*spec, Scale::kTiny);
+    EXPECT_EQ(g.num_vertices(), e.vertices) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace thrifty::bench

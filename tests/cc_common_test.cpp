@@ -1,0 +1,154 @@
+// Tests for the shared CC API: label utilities, atomic_min, union-find,
+// and the verifier (including failure injection).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cc_common.hpp"
+#include "core/union_find.hpp"
+#include "core/verify.hpp"
+#include "gen/combine.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+
+namespace thrifty::core {
+namespace {
+
+using graph::Label;
+using graph::VertexId;
+
+TEST(AtomicMin, InstallsSmallerValues) {
+  Label slot = 10;
+  EXPECT_TRUE(atomic_min(slot, 5));
+  EXPECT_EQ(slot, 5u);
+  EXPECT_FALSE(atomic_min(slot, 7));
+  EXPECT_EQ(slot, 5u);
+  EXPECT_FALSE(atomic_min(slot, 5));
+  EXPECT_TRUE(atomic_min(slot, 0));
+  EXPECT_EQ(slot, 0u);
+}
+
+TEST(AtomicMin, ConcurrentMinimumWins) {
+  Label slot = 1 << 20;
+  const int n = 100000;
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    atomic_min(slot, static_cast<Label>(n - i));
+  }
+  EXPECT_EQ(slot, 1u);
+}
+
+TEST(LabelStores, RelaxedLoadStoreRoundTrip) {
+  Label slot = 3;
+  store_label(slot, 9);
+  EXPECT_EQ(load_label(slot), 9u);
+}
+
+TEST(CountComponents, DistinctLabelValues) {
+  const std::vector<Label> labels{3, 3, 7, 3, 9};
+  EXPECT_EQ(count_components(labels), 3u);
+  EXPECT_EQ(count_components(std::vector<Label>{}), 0u);
+}
+
+TEST(CanonicalLabels, MapsToSmallestMemberId) {
+  const std::vector<Label> labels{42, 42, 7, 7, 42};
+  const auto canonical = canonical_labels(labels);
+  EXPECT_EQ(canonical, (std::vector<Label>{0, 0, 2, 2, 0}));
+}
+
+TEST(SamePartition, InvariantToRelabelling) {
+  const std::vector<Label> a{5, 5, 1, 1};
+  const std::vector<Label> b{0, 0, 9, 9};
+  const std::vector<Label> c{0, 1, 9, 9};
+  EXPECT_TRUE(same_partition(a, b));
+  EXPECT_FALSE(same_partition(a, c));
+  EXPECT_FALSE(same_partition(a, std::vector<Label>{5, 5, 1}));
+}
+
+TEST(LargestComponentHelper, FindsBiggestClass) {
+  const std::vector<Label> labels{1, 1, 1, 2, 2, 3};
+  const LargestComponent giant = largest_component(labels);
+  EXPECT_EQ(giant.label, 1u);
+  EXPECT_EQ(giant.size, 3u);
+}
+
+TEST(UnionFindOracle, BasicUnions) {
+  UnionFind dsu(6);
+  EXPECT_EQ(dsu.num_sets(), 6u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_TRUE(dsu.unite(0, 3));
+  EXPECT_TRUE(dsu.connected(1, 2));
+  EXPECT_FALSE(dsu.connected(0, 4));
+  EXPECT_EQ(dsu.num_sets(), 3u);
+  EXPECT_EQ(dsu.set_size(1), 4u);
+  EXPECT_EQ(dsu.set_size(5), 1u);
+}
+
+TEST(UnionFindOracle, LongChainCompresses) {
+  const VertexId n = 10000;
+  UnionFind dsu(n);
+  for (VertexId v = 1; v < n; ++v) dsu.unite(v - 1, v);
+  EXPECT_EQ(dsu.num_sets(), 1u);
+  EXPECT_EQ(dsu.set_size(0), n);
+}
+
+TEST(Verifier, AcceptsCorrectLabels) {
+  // Two components: a triangle and an edge.
+  const graph::EdgeList edges{{0, 1}, {1, 2}, {2, 0}, {3, 4}};
+  const auto g = graph::build_csr(edges, 5).graph;
+  const std::vector<Label> labels{0, 0, 0, 3, 3};
+  const VerifyResult result = verify_labels(g, labels);
+  EXPECT_TRUE(result.valid) << result.message;
+  EXPECT_EQ(result.components, 2u);
+}
+
+TEST(Verifier, RejectsEdgeInconsistency) {
+  const graph::EdgeList edges{{0, 1}};
+  const auto g = graph::build_csr(edges, 2).graph;
+  EXPECT_FALSE(verify_labels(g, std::vector<Label>{0, 1}).valid);
+  EXPECT_FALSE(edge_consistent(g, std::vector<Label>{0, 1}));
+}
+
+TEST(Verifier, RejectsMergedComponents) {
+  // Labels constant per component but two components share a label:
+  // edge-consistent yet not a valid CC labelling.
+  const graph::EdgeList edges{{0, 1}, {2, 3}};
+  const auto g = graph::build_csr(edges, 4).graph;
+  const std::vector<Label> merged{7, 7, 7, 7};
+  EXPECT_TRUE(edge_consistent(g, merged));
+  EXPECT_FALSE(verify_labels(g, merged).valid);
+}
+
+TEST(Verifier, RejectsWrongSize) {
+  const auto g = graph::build_csr(graph::EdgeList{{0, 1}}, 2).graph;
+  EXPECT_FALSE(verify_labels(g, std::vector<Label>{0}).valid);
+}
+
+TEST(Verifier, AcceptsEmptyGraph) {
+  const graph::CsrGraph g;
+  EXPECT_TRUE(verify_labels(g, {}).valid);
+}
+
+TEST(Verifier, DetectsSingleMutatedLabel) {
+  const auto g = graph::build_csr(gen::clique_edges(50)).graph;
+  std::vector<Label> labels(50, 0);
+  EXPECT_TRUE(verify_labels(g, labels).valid);
+  labels[17] = 1;  // inject corruption
+  EXPECT_FALSE(verify_labels(g, labels).valid);
+}
+
+TEST(TrueComponentCount, MatchesConstruction) {
+  graph::EdgeList edges = gen::clique_edges(10);
+  const VertexId total =
+      gen::append_satellite_components(edges, 10, 5, 3, 1);
+  const auto g =
+      graph::build_csr(edges, total,
+                       {.remove_zero_degree_vertices = false})
+          .graph;
+  EXPECT_EQ(true_component_count(g), 6u);
+}
+
+}  // namespace
+}  // namespace thrifty::core

@@ -1,0 +1,103 @@
+// Contract-violation tests: the library's preconditions abort loudly
+// rather than corrupt silently.  Uses gtest death tests.
+#include <gtest/gtest.h>
+
+#include "frontier/bitmap.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "partition/edge_partitioner.hpp"
+#include "support/math.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace thrifty {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeOffset;
+using graph::VertexId;
+using support::UninitVector;
+
+TEST(ContractsDeathTest, CsrRejectsMalformedOffsets) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Offsets not ending at neighbour count.
+  EXPECT_DEATH(
+      {
+        UninitVector<EdgeOffset> offsets(3);
+        offsets[0] = 0;
+        offsets[1] = 1;
+        offsets[2] = 5;  // != neighbors.size()
+        UninitVector<VertexId> neighbors(2);
+        neighbors[0] = 0;
+        neighbors[1] = 1;
+        CsrGraph g(std::move(offsets), std::move(neighbors));
+      },
+      "precondition");
+}
+
+TEST(ContractsDeathTest, CsrRejectsOutOfRangeNeighbor) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        UninitVector<EdgeOffset> offsets(2);
+        offsets[0] = 0;
+        offsets[1] = 1;
+        UninitVector<VertexId> neighbors(1);
+        neighbors[0] = 42;  // graph has a single vertex
+        CsrGraph g(std::move(offsets), std::move(neighbors));
+      },
+      "precondition");
+}
+
+TEST(ContractsDeathTest, DegreeOutOfRangeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const CsrGraph g =
+      graph::build_csr(graph::EdgeList{{0, 1}}, 2).graph;
+  EXPECT_DEATH((void)g.degree(2), "precondition");
+  EXPECT_DEATH((void)g.neighbors(99), "precondition");
+}
+
+TEST(ContractsDeathTest, BuilderRejectsEndpointBeyondVertexCount) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH((void)graph::build_csr(graph::EdgeList{{0, 5}}, 3),
+               "precondition");
+}
+
+TEST(ContractsDeathTest, BitmapBoundsChecked) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  frontier::Bitmap bitmap(10);
+  EXPECT_DEATH(bitmap.set(10), "precondition");
+  EXPECT_DEATH((void)bitmap.get(11), "precondition");
+}
+
+TEST(ContractsDeathTest, PartitionerRejectsZeroCount) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  gen::GridParams params;
+  params.width = params.height = 4;
+  const CsrGraph g =
+      graph::build_csr(gen::grid_edges(params), 16).graph;
+  EXPECT_DEATH((void)partition::edge_balanced_partitions(g, 0),
+               "precondition");
+}
+
+TEST(ContractsDeathTest, GeomeanRejectsEmptyAndNonPositive) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH((void)support::geomean({}), "precondition");
+  const std::vector<double> bad{1.0, 0.0};
+  EXPECT_DEATH((void)support::geomean(bad), "precondition");
+}
+
+TEST(ContractsDeathTest, RmatRejectsBadParameters) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  gen::RmatParams params;
+  params.scale = 0;
+  EXPECT_DEATH((void)gen::rmat_edges(params), "precondition");
+  params.scale = 8;
+  params.a = 0.9;
+  params.b = 0.3;  // probabilities exceed 1
+  EXPECT_DEATH((void)gen::rmat_edges(params), "precondition");
+}
+
+}  // namespace
+}  // namespace thrifty

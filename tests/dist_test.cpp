@@ -1,0 +1,153 @@
+// Tests for the simulated distributed LP substrate: exact correctness
+// against the oracle for every configuration (rank counts, k-levels,
+// technique toggles), communication accounting invariants, and the
+// KLA-vs-BSP shape the §VII future work predicts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/verify.hpp"
+#include "dist/dist_lp.hpp"
+#include "gen/combine.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+
+namespace thrifty::dist {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+CsrGraph skewed_graph(int scale = 11, int edge_factor = 8) {
+  gen::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  return graph::build_csr(gen::rmat_edges(params)).graph;
+}
+
+CsrGraph grid_graph(VertexId side = 40) {
+  gen::GridParams params;
+  params.width = params.height = side;
+  return graph::build_csr(gen::grid_edges(params), side * side).graph;
+}
+
+class DistConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(DistConfigSweep, ExactComponentsOnSkewedAndGridAndDisconnected) {
+  const auto& [ranks, k_level, thrifty_techniques] = GetParam();
+  DistOptions options;
+  options.ranks = ranks;
+  options.k_level = k_level;
+  options.zero_planting = thrifty_techniques;
+  options.zero_convergence = thrifty_techniques;
+
+  for (const auto& g : {skewed_graph(), grid_graph()}) {
+    const DistCcResult result = distributed_lp_cc(g, options);
+    const auto verdict = core::verify_labels(g, result.label_span());
+    EXPECT_TRUE(verdict.valid)
+        << result.config << ": " << verdict.message;
+  }
+  // Disconnected case.
+  const std::vector<graph::EdgeList> parts{gen::clique_edges(40),
+                                           gen::path_edges(40),
+                                           gen::star_edges(40)};
+  const std::vector<VertexId> sizes{40, 40, 40};
+  const CsrGraph mixed =
+      graph::build_csr(gen::disjoint_union(parts, sizes), 120).graph;
+  const DistCcResult result = distributed_lp_cc(mixed, options);
+  const auto verdict = core::verify_labels(mixed, result.label_span());
+  EXPECT_TRUE(verdict.valid) << result.config << ": " << verdict.message;
+  EXPECT_EQ(verdict.components, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DistConfigSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 16),
+                       ::testing::Values(1, 3, 0),
+                       ::testing::Bool()),
+    [](const auto& param_info) {
+      return "r" + std::to_string(std::get<0>(param_info.param)) + "_k" +
+             std::to_string(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) ? "_thrifty" : "_plain");
+    });
+
+TEST(DistLp, SingleRankSendsNoMessages) {
+  const CsrGraph g = skewed_graph();
+  const DistCcResult result =
+      distributed_lp_cc(g, bsp_dolp_config(1));
+  EXPECT_EQ(result.total_messages, 0u);
+  EXPECT_EQ(result.total_bytes, 0u);
+}
+
+TEST(DistLp, MessageBytesAccounting) {
+  const CsrGraph g = skewed_graph();
+  DistOptions options = bsp_dolp_config(4);
+  options.bytes_per_message = 12;
+  const DistCcResult result = distributed_lp_cc(g, options);
+  EXPECT_EQ(result.total_bytes, result.total_messages * 12);
+  // Per-superstep records sum to the totals.
+  std::uint64_t sum = 0;
+  for (const auto& record : result.records) sum += record.messages;
+  EXPECT_EQ(sum, result.total_messages);
+  EXPECT_EQ(static_cast<int>(result.records.size()), result.supersteps);
+}
+
+TEST(DistLp, BspSuperstepsTrackDiameterOnGrid) {
+  // With k = 1, a label crosses at most one rank-local hop plus one
+  // boundary hop per superstep: supersteps grow with graph diameter.
+  const DistCcResult bsp =
+      distributed_lp_cc(grid_graph(32), bsp_dolp_config(4));
+  EXPECT_GT(bsp.supersteps, 15);
+}
+
+TEST(DistLp, KlaCollapsesSuperstepsOnGrid) {
+  // Local fixed-point propagation (k unbounded) contracts each rank's
+  // whole subgraph per superstep: supersteps drop to ~O(ranks).
+  const CsrGraph g = grid_graph(32);
+  const DistCcResult bsp = distributed_lp_cc(g, bsp_dolp_config(4));
+  const DistCcResult kla = distributed_lp_cc(g, kla_thrifty_config(4));
+  EXPECT_LT(kla.supersteps, bsp.supersteps / 2);
+}
+
+TEST(DistLp, ThriftyTechniquesReduceMessagesOnSkewedGraphs) {
+  const CsrGraph g = skewed_graph(12, 12);
+  const DistCcResult bsp = distributed_lp_cc(g, bsp_dolp_config(8));
+  const DistCcResult kla = distributed_lp_cc(g, kla_thrifty_config(8));
+  EXPECT_LT(kla.total_messages, bsp.total_messages);
+  EXPECT_LE(kla.supersteps, bsp.supersteps);
+}
+
+TEST(DistLp, MoreRanksMoreBoundaryTraffic) {
+  const CsrGraph g = skewed_graph(12, 8);
+  const DistCcResult few = distributed_lp_cc(g, bsp_dolp_config(2));
+  const DistCcResult many = distributed_lp_cc(g, bsp_dolp_config(32));
+  EXPECT_LT(few.total_messages, many.total_messages);
+}
+
+TEST(DistLp, ConfigStringDescribesRun) {
+  const DistCcResult result =
+      distributed_lp_cc(skewed_graph(9, 4), kla_thrifty_config(4));
+  EXPECT_NE(result.config.find("ranks=4"), std::string::npos);
+  EXPECT_NE(result.config.find("+plant"), std::string::npos);
+  EXPECT_NE(result.config.find("+zeroconv"), std::string::npos);
+}
+
+TEST(DistLp, EmptyGraph) {
+  const CsrGraph g;
+  const DistCcResult result = distributed_lp_cc(g, bsp_dolp_config(4));
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.supersteps, 0);
+}
+
+TEST(DistLp, RanksExceedingVerticesStillWork) {
+  const CsrGraph g = graph::build_csr(gen::clique_edges(5)).graph;
+  DistOptions options = bsp_dolp_config(64);
+  const DistCcResult result = distributed_lp_cc(g, options);
+  EXPECT_TRUE(core::verify_labels(g, result.label_span()).valid);
+}
+
+}  // namespace
+}  // namespace thrifty::dist

@@ -1,0 +1,265 @@
+// Tests for src/gen: determinism, structural properties (skew, giant
+// components, diameter regimes), and the combinators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "core/union_find.hpp"
+#include "gen/barabasi_albert.hpp"
+#include "gen/combine.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/grid.hpp"
+#include "gen/rmat.hpp"
+#include "gen/simple.hpp"
+#include "gen/small_world.hpp"
+#include "graph/builder.hpp"
+#include "graph/degree_stats.hpp"
+
+namespace thrifty::gen {
+namespace {
+
+using graph::CsrGraph;
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+std::uint64_t component_count(const EdgeList& edges, VertexId n) {
+  core::UnionFind dsu(n);
+  for (const Edge& e : edges) dsu.unite(e.u, e.v);
+  return dsu.num_sets();
+}
+
+std::uint64_t largest_component_size(const EdgeList& edges, VertexId n) {
+  core::UnionFind dsu(n);
+  for (const Edge& e : edges) dsu.unite(e.u, e.v);
+  std::uint64_t best = 0;
+  for (VertexId v = 0; v < n; ++v) best = std::max(best, dsu.set_size(v));
+  return best;
+}
+
+TEST(Rmat, DeterministicInSeed) {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 4;
+  const EdgeList a = rmat_edges(params);
+  const EdgeList b = rmat_edges(params);
+  EXPECT_EQ(a, b);
+  params.seed = 2;
+  const EdgeList c = rmat_edges(params);
+  EXPECT_NE(a, c);
+}
+
+TEST(Rmat, GeneratesRequestedEdgeCount) {
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  const EdgeList edges = rmat_edges(params);
+  EXPECT_EQ(edges.size(), (1u << 12) * 8u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, 1u << 12);
+    EXPECT_LT(e.v, 1u << 12);
+  }
+}
+
+TEST(Rmat, ProducesGiantComponentAndSkew) {
+  RmatParams params;
+  params.scale = 14;
+  params.edge_factor = 16;
+  const EdgeList edges = rmat_edges(params);
+  const auto built = graph::build_csr(edges, 1u << 14);
+  // Giant component: the paper's Table I reports >= 94% of (non-zero-
+  // degree) vertices in the max-degree vertex's component.
+  const VertexId n = built.graph.num_vertices();
+  core::UnionFind dsu(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : built.graph.neighbors(v)) {
+      if (u > v) dsu.unite(v, u);
+    }
+  }
+  const double giant_share =
+      static_cast<double>(dsu.set_size(built.graph.max_degree_vertex())) /
+      static_cast<double>(n);
+  EXPECT_GT(giant_share, 0.90);
+  EXPECT_TRUE(graph::looks_power_law(built.graph));
+}
+
+TEST(Rmat, PermutationPreservesDegreeDistributionShape) {
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  params.permute_ids = false;
+  const EdgeList plain = rmat_edges(params);
+  params.permute_ids = true;
+  const EdgeList permuted = rmat_edges(params);
+  const auto g1 = graph::build_csr(plain, 1u << 12).graph;
+  const auto g2 = graph::build_csr(permuted, 1u << 12).graph;
+  EXPECT_EQ(g1.num_vertices(), g2.num_vertices());
+  EXPECT_EQ(g1.num_directed_edges(), g2.num_directed_edges());
+  EXPECT_EQ(graph::compute_degree_stats(g1).max_degree,
+            graph::compute_degree_stats(g2).max_degree);
+}
+
+TEST(ErdosRenyi, DeterministicAndInRange) {
+  ErdosRenyiParams params;
+  params.num_vertices = 1000;
+  params.num_edges = 5000;
+  const EdgeList a = erdos_renyi_edges(params);
+  const EdgeList b = erdos_renyi_edges(params);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 5000u);
+  for (const Edge& e : a) {
+    EXPECT_LT(e.u, 1000u);
+    EXPECT_LT(e.v, 1000u);
+  }
+}
+
+TEST(ErdosRenyi, NotPowerLaw) {
+  ErdosRenyiParams params;
+  params.num_vertices = 1 << 14;
+  params.num_edges = 1 << 18;
+  const auto g =
+      graph::build_csr(erdos_renyi_edges(params), params.num_vertices).graph;
+  EXPECT_FALSE(graph::looks_power_law(g));
+}
+
+TEST(BarabasiAlbert, ConnectedByConstruction) {
+  BarabasiAlbertParams params;
+  params.num_vertices = 5000;
+  params.edges_per_vertex = 4;
+  const EdgeList edges = barabasi_albert_edges(params);
+  EXPECT_EQ(component_count(edges, params.num_vertices), 1u);
+}
+
+TEST(BarabasiAlbert, HeavyTail) {
+  BarabasiAlbertParams params;
+  params.num_vertices = 1 << 14;
+  params.edges_per_vertex = 8;
+  const auto g =
+      graph::build_csr(barabasi_albert_edges(params), params.num_vertices)
+          .graph;
+  EXPECT_TRUE(graph::looks_power_law(g));
+  const auto stats = graph::compute_degree_stats(g);
+  EXPECT_GT(stats.max_degree, 50 * static_cast<std::uint64_t>(
+                                       params.edges_per_vertex));
+}
+
+TEST(Grid, StructureAndDegreeBounds) {
+  GridParams params;
+  params.width = 20;
+  params.height = 30;
+  const EdgeList edges = grid_edges(params);
+  // A w x h grid has w*(h-1) + h*(w-1) edges.
+  EXPECT_EQ(edges.size(), 20u * 29 + 30u * 19);
+  const auto g = graph::build_csr(edges, params.width * params.height).graph;
+  const auto stats = graph::compute_degree_stats(g);
+  EXPECT_LE(stats.max_degree, 4u);
+  EXPECT_GE(stats.min_degree, 2u);
+  EXPECT_FALSE(graph::looks_power_law(g));
+}
+
+TEST(Grid, ConnectedWithoutRemoval) {
+  GridParams params;
+  params.width = 50;
+  params.height = 50;
+  EXPECT_EQ(component_count(grid_edges(params), 2500), 1u);
+}
+
+TEST(Grid, RemovalDropsEdges) {
+  GridParams full;
+  full.width = full.height = 64;
+  GridParams sparse = full;
+  sparse.removal_fraction = 0.3;
+  EXPECT_LT(grid_edges(sparse).size(), grid_edges(full).size());
+}
+
+TEST(SmallWorld, DegreeAndDeterminism) {
+  SmallWorldParams params;
+  params.num_vertices = 2000;
+  params.k = 3;
+  params.beta = 0.2;
+  const EdgeList a = small_world_edges(params);
+  EXPECT_EQ(a, small_world_edges(params));
+  EXPECT_EQ(a.size(), 2000u * 3);
+}
+
+TEST(SmallWorld, ZeroBetaIsRingLattice) {
+  SmallWorldParams params;
+  params.num_vertices = 100;
+  params.k = 2;
+  params.beta = 0.0;
+  const auto g =
+      graph::build_csr(small_world_edges(params), params.num_vertices).graph;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), 4u);
+  }
+}
+
+TEST(Simple, PathCycleStarCliqueCounts) {
+  EXPECT_EQ(path_edges(10).size(), 9u);
+  EXPECT_EQ(cycle_edges(10).size(), 10u);
+  EXPECT_EQ(star_edges(10).size(), 9u);
+  EXPECT_EQ(clique_edges(10).size(), 45u);
+  EXPECT_TRUE(path_edges(1).empty());
+  EXPECT_TRUE(path_edges(0).empty());
+}
+
+TEST(Simple, RandomTreeIsConnectedSpanning) {
+  const EdgeList edges = random_tree_edges(500, 9);
+  EXPECT_EQ(edges.size(), 499u);
+  EXPECT_EQ(component_count(edges, 500), 1u);
+}
+
+TEST(Simple, Figure2ExampleShape) {
+  const EdgeList edges = figure2_example_edges();
+  const auto g = graph::build_csr(edges, 6).graph;
+  EXPECT_EQ(g.num_vertices(), 6u);
+  // E (vertex 4) is the unique max-degree vertex.
+  EXPECT_EQ(g.max_degree_vertex(), 4u);
+  EXPECT_EQ(g.degree(4), 3u);
+  // Single component.
+  EXPECT_EQ(component_count(edges, 6), 1u);
+}
+
+TEST(Combine, DisjointUnionShiftsIds) {
+  const std::array<EdgeList, 2> parts{path_edges(3), path_edges(2)};
+  const std::array<VertexId, 2> sizes{3, 2};
+  const EdgeList combined = disjoint_union(parts, sizes);
+  ASSERT_EQ(combined.size(), 3u);
+  EXPECT_EQ(combined[2].u, 3u);
+  EXPECT_EQ(combined[2].v, 4u);
+  EXPECT_EQ(component_count(combined, 5), 2u);
+}
+
+TEST(Combine, PermuteKeepsComponentStructure) {
+  EdgeList edges = path_edges(100);
+  const auto before = component_count(edges, 100);
+  permute_vertex_ids(edges, 100, 5);
+  EXPECT_EQ(component_count(edges, 100), before);
+  // The permutation actually moved something.
+  EXPECT_NE(edges, path_edges(100));
+}
+
+TEST(Combine, SatelliteComponentsAddExpectedCount) {
+  EdgeList edges = clique_edges(50);
+  const VertexId total = append_satellite_components(edges, 50, 10, 4, 7);
+  EXPECT_EQ(total, 50u + 40u);
+  EXPECT_EQ(component_count(edges, total), 11u);
+}
+
+TEST(Combine, LargestComponentDominatesAfterSatellites) {
+  BarabasiAlbertParams params;
+  params.num_vertices = 10000;
+  params.edges_per_vertex = 4;
+  EdgeList edges = barabasi_albert_edges(params);
+  const VertexId total =
+      append_satellite_components(edges, params.num_vertices, 100, 3, 3);
+  const double share =
+      static_cast<double>(largest_component_size(edges, total)) /
+      static_cast<double>(total);
+  EXPECT_GT(share, 0.94);  // Table I regime
+}
+
+}  // namespace
+}  // namespace thrifty::gen

@@ -1,0 +1,214 @@
+// Tests for src/graph: CSR construction pipeline (symmetrise, sort, dedup,
+// self-loop and zero-degree removal), accessors, max-degree vertex, and
+// degree statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/rmat.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/types.hpp"
+
+namespace thrifty::graph {
+namespace {
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_directed_edges(), 0u);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Builder, TriangleBothDirections) {
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}};
+  const CsrGraph g = build_csr(edges).graph;
+  ASSERT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 6u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+  }
+  // Neighbour of 0 must be {1, 2}, sorted.
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+}
+
+TEST(Builder, AdjacencyListsAreSorted) {
+  const EdgeList edges{{0, 3}, {0, 1}, {0, 2}, {0, 4}};
+  const CsrGraph g = build_csr(edges).graph;
+  const auto n0 = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n0.begin(), n0.end()));
+}
+
+TEST(Builder, RemovesSelfLoopsByDefault) {
+  const EdgeList edges{{0, 0}, {0, 1}, {1, 1}};
+  const CsrGraph g = build_csr(edges).graph;
+  EXPECT_EQ(g.num_undirected_edges(), 1u);
+  EXPECT_EQ(g.self_loop_count(), 0u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(Builder, KeepsSelfLoopsWhenAsked) {
+  BuildOptions options;
+  options.remove_self_loops = false;
+  options.remove_zero_degree_vertices = false;
+  const EdgeList edges{{0, 0}, {0, 1}};
+  const CsrGraph g = build_csr(edges, 2, options).graph;
+  EXPECT_GT(g.self_loop_count(), 0u);
+}
+
+TEST(Builder, DeduplicatesParallelEdges) {
+  const EdgeList edges{{0, 1}, {0, 1}, {1, 0}, {0, 1}};
+  const CsrGraph g = build_csr(edges).graph;
+  EXPECT_EQ(g.num_undirected_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Builder, KeepsDuplicatesWhenAsked) {
+  BuildOptions options;
+  options.deduplicate_edges = false;
+  const EdgeList edges{{0, 1}, {0, 1}};
+  const CsrGraph g = build_csr(edges, 2, options).graph;
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Builder, RemovesZeroDegreeVerticesAndCompacts) {
+  // Vertex 1 and 3 are isolated in a 5-vertex id space.
+  const EdgeList edges{{0, 2}, {2, 4}};
+  const BuildResult result = build_csr(edges, 5);
+  EXPECT_EQ(result.graph.num_vertices(), 3u);
+  ASSERT_EQ(result.old_to_new.size(), 5u);
+  EXPECT_EQ(result.old_to_new[0], 0u);
+  EXPECT_EQ(result.old_to_new[1], BuildResult::kDroppedVertex);
+  EXPECT_EQ(result.old_to_new[2], 1u);
+  EXPECT_EQ(result.old_to_new[3], BuildResult::kDroppedVertex);
+  EXPECT_EQ(result.old_to_new[4], 2u);
+  // Edge structure preserved under the mapping: 0-1, 1-2 in new ids.
+  EXPECT_EQ(result.graph.neighbors(1).size(), 2u);
+}
+
+TEST(Builder, KeepsZeroDegreeVerticesWhenAsked) {
+  BuildOptions options;
+  options.remove_zero_degree_vertices = false;
+  const EdgeList edges{{0, 2}};
+  const CsrGraph g = build_csr(edges, 4, options).graph;
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Builder, EmptyEdgeList) {
+  const BuildResult result = build_csr(EdgeList{});
+  EXPECT_EQ(result.graph.num_vertices(), 0u);
+}
+
+TEST(Builder, SymmetryEveryEdgeHasReverse) {
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  const CsrGraph g = build_csr(gen::rmat_edges(params)).graph;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      const auto nu = g.neighbors(u);
+      EXPECT_TRUE(std::binary_search(nu.begin(), nu.end(), v))
+          << "edge " << v << "->" << u << " missing reverse";
+    }
+  }
+}
+
+TEST(Builder, DegreeSumEqualsDirectedEdges) {
+  gen::RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  const CsrGraph g = build_csr(gen::rmat_edges(params)).graph;
+  EdgeOffset sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, g.num_directed_edges());
+}
+
+TEST(CsrGraph, MaxDegreeVertexOnStar) {
+  const CsrGraph g = build_csr(gen::star_edges(100, 42)).graph;
+  // After zero-degree compaction the centre keeps relative order: ids
+  // below 42 unchanged.
+  EXPECT_EQ(g.max_degree_vertex(), 42u);
+  EXPECT_EQ(g.degree(42), 99u);
+}
+
+TEST(CsrGraph, MaxDegreeVertexPrefersSmallestIdOnTies) {
+  // Path 0-1-2-3: vertices 1 and 2 both have degree 2.
+  const CsrGraph g = build_csr(gen::path_edges(4)).graph;
+  EXPECT_EQ(g.max_degree_vertex(), 1u);
+}
+
+TEST(CsrGraph, OffsetsSpanIsConsistent) {
+  const CsrGraph g = build_csr(gen::cycle_edges(10)).graph;
+  const auto offsets = g.offsets();
+  ASSERT_EQ(offsets.size(), g.num_vertices() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), g.num_directed_edges());
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    EXPECT_LE(offsets[i], offsets[i + 1]);
+  }
+}
+
+TEST(DegreeStats, UniformCycle) {
+  const CsrGraph g = build_csr(gen::cycle_edges(1000)).graph;
+  const DegreeStats stats = compute_degree_stats(g);
+  EXPECT_EQ(stats.min_degree, 2u);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 2.0);
+  EXPECT_DOUBLE_EQ(stats.median_degree, 2.0);
+  EXPECT_NEAR(stats.top1pct_edge_share, 0.01, 0.005);
+  EXPECT_FALSE(looks_power_law(g));
+}
+
+TEST(DegreeStats, StarIsMaximallySkewed) {
+  const CsrGraph g = build_csr(gen::star_edges(1000)).graph;
+  const DegreeStats stats = compute_degree_stats(g);
+  EXPECT_EQ(stats.max_degree, 999u);
+  EXPECT_EQ(stats.min_degree, 1u);
+  // The single hub (top 1%) carries half of all directed edges.
+  EXPECT_GT(stats.top1pct_edge_share, 0.45);
+  EXPECT_TRUE(looks_power_law(g));
+}
+
+TEST(DegreeStats, RmatIsSkewed) {
+  gen::RmatParams params;
+  params.scale = 14;
+  params.edge_factor = 16;
+  const CsrGraph g = build_csr(gen::rmat_edges(params)).graph;
+  const DegreeStats stats = compute_degree_stats(g);
+  EXPECT_GT(stats.top1pct_edge_share, 0.15);
+  EXPECT_LT(stats.fraction_above_mean, 0.5);
+  EXPECT_TRUE(looks_power_law(g));
+}
+
+TEST(DegreeStats, HistogramCountsAllVertices) {
+  const CsrGraph g = build_csr(gen::star_edges(256)).graph;
+  const auto histogram = log2_degree_histogram(g);
+  std::uint64_t total = 0;
+  for (const auto count : histogram) total += count;
+  EXPECT_EQ(total, g.num_vertices());
+  // 255 leaves of degree 1 in bucket 0; the hub alone in the top bucket.
+  EXPECT_EQ(histogram[0], 255u);
+  EXPECT_EQ(histogram.back(), 1u);
+}
+
+TEST(DegreeStats, EmptyGraphIsSafe) {
+  const CsrGraph g;
+  const DegreeStats stats = compute_degree_stats(g);
+  EXPECT_EQ(stats.max_degree, 0u);
+  EXPECT_FALSE(looks_power_law(g));
+}
+
+}  // namespace
+}  // namespace thrifty::graph

@@ -1,0 +1,102 @@
+// Tests for src/instrument: counter policies, aggregation, and run-stat
+// helpers.
+#include <gtest/gtest.h>
+
+#include "instrument/counters.hpp"
+#include "instrument/run_stats.hpp"
+#include "support/parallel.hpp"
+
+namespace thrifty::instrument {
+namespace {
+
+TEST(NullCounters, IsDisabledAndFree) {
+  static_assert(!NullCounters::kEnabled);
+  NullCounters counters;
+  counters.edge();
+  counters.label_read(5);
+  counters.cas_attempt();
+  const EventCounters total = counters.total();
+  EXPECT_EQ(total.edges_processed, 0u);
+  EXPECT_EQ(total.label_reads, 0u);
+}
+
+TEST(ActiveCounters, CountsEvents) {
+  static_assert(ActiveCounters::kEnabled);
+  ActiveCounters counters;
+  counters.edge();
+  counters.edge(9);
+  counters.label_read(3);
+  counters.label_write();
+  counters.cas_attempt();
+  counters.cas_success();
+  counters.frontier_push();
+  counters.skipped_converged_vertex();
+  counters.early_exit();
+  const EventCounters total = counters.total();
+  EXPECT_EQ(total.edges_processed, 10u);
+  EXPECT_EQ(total.label_reads, 3u);
+  EXPECT_EQ(total.label_writes, 1u);
+  EXPECT_EQ(total.cas_attempts, 1u);
+  EXPECT_EQ(total.cas_successes, 1u);
+  EXPECT_EQ(total.frontier_pushes, 1u);
+  EXPECT_EQ(total.skipped_converged, 1u);
+  EXPECT_EQ(total.early_exits, 1u);
+}
+
+TEST(ActiveCounters, ResetsToZero) {
+  ActiveCounters counters;
+  counters.edge(100);
+  counters.reset();
+  EXPECT_EQ(counters.total().edges_processed, 0u);
+}
+
+TEST(ActiveCounters, AggregatesAcrossThreads) {
+  ActiveCounters counters;
+  const int n = 100000;
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    counters.edge();
+  }
+  EXPECT_EQ(counters.total().edges_processed,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(EventCounters, PlusEqualsAccumulates) {
+  EventCounters a;
+  a.edges_processed = 5;
+  a.label_reads = 2;
+  EventCounters b;
+  b.edges_processed = 7;
+  b.cas_attempts = 1;
+  a += b;
+  EXPECT_EQ(a.edges_processed, 12u);
+  EXPECT_EQ(a.label_reads, 2u);
+  EXPECT_EQ(a.cas_attempts, 1u);
+}
+
+TEST(EventCounters, ProxiesAreMonotoneInEvents) {
+  EventCounters small;
+  small.label_reads = 10;
+  EventCounters big = small;
+  big.label_writes = 5;
+  big.edges_processed = 20;
+  EXPECT_GT(big.memory_accesses(), small.memory_accesses());
+  EXPECT_GT(big.instruction_proxy(), small.instruction_proxy());
+}
+
+TEST(Direction, NamesAreStable) {
+  EXPECT_STREQ(to_string(Direction::kPush), "Push");
+  EXPECT_STREQ(to_string(Direction::kPull), "Pull");
+  EXPECT_STREQ(to_string(Direction::kPullFrontier), "Pull-Frontier");
+  EXPECT_STREQ(to_string(Direction::kInitialPush), "Initial-Push");
+}
+
+TEST(RunStats, EdgesProcessedFraction) {
+  RunStats stats;
+  stats.events.edges_processed = 14;
+  EXPECT_DOUBLE_EQ(stats.edges_processed_fraction(1000), 0.014);
+  EXPECT_DOUBLE_EQ(stats.edges_processed_fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace thrifty::instrument

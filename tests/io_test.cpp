@@ -1,0 +1,191 @@
+// Tests for src/io: round-trips and malformed-input rejection for the
+// edge-list, binary CSR and Matrix Market formats.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gen/rmat.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "io/binary_io.hpp"
+#include "io/edge_list_io.hpp"
+#include "io/matrix_market_io.hpp"
+
+namespace thrifty::io {
+namespace {
+
+using graph::CsrGraph;
+using graph::Edge;
+using graph::EdgeList;
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("thrifty_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST(EdgeListIo, ParsesSimpleInput) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  const EdgeList edges = read_edge_list(in);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[2], (Edge{2, 0}));
+}
+
+TEST(EdgeListIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# SNAP style comment\n% KONECT style comment\n\n   \n0 1\n  3\t4\n");
+  const EdgeList edges = read_edge_list(in);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[1], (Edge{3, 4}));
+}
+
+TEST(EdgeListIo, RejectsMalformedLines) {
+  std::istringstream missing("0\n");
+  EXPECT_THROW((void)read_edge_list(missing), std::runtime_error);
+  std::istringstream garbage("a b\n");
+  EXPECT_THROW((void)read_edge_list(garbage), std::runtime_error);
+}
+
+TEST(EdgeListIo, WriteThenReadRoundTrips) {
+  const EdgeList edges{{5, 6}, {7, 8}, {0, 1}};
+  std::ostringstream out;
+  write_edge_list(out, edges);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_edge_list(in), edges);
+}
+
+TEST_F(TempDir, EdgeListFileRoundTrip) {
+  const EdgeList edges{{1, 2}, {3, 4}};
+  write_edge_list_file(path("graph.el"), edges);
+  EXPECT_EQ(read_edge_list_file(path("graph.el")), edges);
+}
+
+TEST_F(TempDir, EdgeListMissingFileThrows) {
+  EXPECT_THROW((void)read_edge_list_file(path("nope.el")),
+               std::runtime_error);
+}
+
+TEST_F(TempDir, BinaryCsrRoundTripsExactly) {
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  const CsrGraph original =
+      graph::build_csr(gen::rmat_edges(params)).graph;
+  write_csr_file(path("graph.bin"), original);
+  const CsrGraph loaded = read_csr_file(path("graph.bin"));
+  ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_directed_edges(), original.num_directed_edges());
+  for (graph::VertexId v = 0; v < original.num_vertices(); ++v) {
+    const auto a = original.neighbors(v);
+    const auto b = loaded.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST_F(TempDir, BinaryRejectsBadMagic) {
+  {
+    std::ofstream out(path("bad.bin"), std::ios::binary);
+    out << "NOTAGRAPHFILE-------------------";
+  }
+  EXPECT_THROW((void)read_csr_file(path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(TempDir, BinaryRejectsTruncatedFile) {
+  const CsrGraph g = graph::build_csr(gen::cycle_edges(100)).graph;
+  write_csr_file(path("full.bin"), g);
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path("full.bin"));
+  std::filesystem::resize_file(path("full.bin"), size / 2);
+  EXPECT_THROW((void)read_csr_file(path("full.bin")), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, ParsesSymmetricPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% comment\n"
+      "4 4 3\n"
+      "2 1\n"
+      "3 2\n"
+      "4 1\n");
+  const MatrixMarketGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices, 4u);
+  ASSERT_EQ(g.edges.size(), 3u);
+  EXPECT_EQ(g.edges[0], (Edge{1, 0}));  // 1-based -> 0-based
+}
+
+TEST(MatrixMarketIo, IgnoresValuesOnEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 1\n"
+      "2 1 3.25\n");
+  const MatrixMarketGraph g = read_matrix_market(in);
+  ASSERT_EQ(g.edges.size(), 1u);
+  EXPECT_EQ(g.edges[0], (Edge{1, 0}));
+}
+
+TEST(MatrixMarketIo, RejectsMissingHeader) {
+  std::istringstream in("4 4 0\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, RejectsNonSquare) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n3 4 0\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, RejectsOutOfRangeIndex) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n3 1\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, RejectsShortFile) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 2\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, WriteThenReadRoundTrips) {
+  const EdgeList edges{{0, 1}, {2, 3}, {1, 3}};
+  std::ostringstream out;
+  write_matrix_market(out, edges, 4);
+  std::istringstream in(out.str());
+  const MatrixMarketGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices, 4u);
+  ASSERT_EQ(g.edges.size(), 3u);
+  // Entries are canonicalised to lower-triangle order (hi, lo).
+  EXPECT_EQ(g.edges[0], (Edge{1, 0}));
+  EXPECT_EQ(g.edges[1], (Edge{3, 2}));
+  EXPECT_EQ(g.edges[2], (Edge{3, 1}));
+}
+
+TEST_F(TempDir, MatrixMarketFileRoundTrip) {
+  const EdgeList edges{{0, 5}, {3, 2}};
+  write_matrix_market_file(path("g.mtx"), edges, 6);
+  const MatrixMarketGraph g = read_matrix_market_file(path("g.mtx"));
+  EXPECT_EQ(g.num_vertices, 6u);
+  EXPECT_EQ(g.edges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace thrifty::io

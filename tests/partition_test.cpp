@@ -1,0 +1,149 @@
+// Tests for src/partition: edge-balanced partitioning invariants and the
+// work-stealing scheduler's exactly-once claiming.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gen/rmat.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "partition/edge_partitioner.hpp"
+#include "partition/scheduler.hpp"
+#include "support/parallel.hpp"
+
+namespace thrifty::partition {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeOffset;
+using graph::VertexId;
+
+CsrGraph skewed_graph() {
+  gen::RmatParams params;
+  params.scale = 13;
+  params.edge_factor = 16;
+  return graph::build_csr(gen::rmat_edges(params)).graph;
+}
+
+TEST(EdgePartitioner, CoversAllVerticesWithoutOverlap) {
+  const CsrGraph g = skewed_graph();
+  const auto ranges = edge_balanced_partitions(g, 64);
+  ASSERT_EQ(ranges.size(), 64u);
+  VertexId expected_begin = 0;
+  for (const VertexRange& r : ranges) {
+    EXPECT_EQ(r.begin, expected_begin);
+    EXPECT_LE(r.begin, r.end);
+    expected_begin = r.end;
+  }
+  EXPECT_EQ(ranges.back().end, g.num_vertices());
+}
+
+TEST(EdgePartitioner, EdgeMassIsBalancedOnSkewedGraph) {
+  const CsrGraph g = skewed_graph();
+  const std::size_t parts = 32;
+  const auto ranges = edge_balanced_partitions(g, parts);
+  const auto target =
+      static_cast<double>(g.num_directed_edges()) / parts;
+  EdgeOffset max_degree = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  for (const VertexRange& r : ranges) {
+    // A partition can exceed the target by at most one vertex's degree
+    // (contiguous ranges cannot split a vertex).
+    EXPECT_LE(static_cast<double>(edges_in_range(g, r)),
+              target + static_cast<double>(max_degree) + 1.0);
+  }
+}
+
+TEST(EdgePartitioner, TotalEdgeMassPreserved) {
+  const CsrGraph g = skewed_graph();
+  const auto ranges = edge_balanced_partitions(g, 48);
+  EdgeOffset total = 0;
+  for (const VertexRange& r : ranges) total += edges_in_range(g, r);
+  EXPECT_EQ(total, g.num_directed_edges());
+}
+
+TEST(EdgePartitioner, MorePartitionsThanVertices) {
+  const CsrGraph g = graph::build_csr(gen::path_edges(5)).graph;
+  const auto ranges = edge_balanced_partitions(g, 100);
+  EXPECT_EQ(ranges.back().end, g.num_vertices());
+  EdgeOffset total = 0;
+  for (const VertexRange& r : ranges) total += edges_in_range(g, r);
+  EXPECT_EQ(total, g.num_directed_edges());
+}
+
+TEST(EdgePartitioner, SinglePartitionIsWholeGraph) {
+  const CsrGraph g = skewed_graph();
+  const auto ranges = edge_balanced_partitions(g, 1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (VertexRange{0, g.num_vertices()}));
+}
+
+TEST(Scheduler, EveryPartitionClaimedExactlyOnce) {
+  const CsrGraph g = skewed_graph();
+  PartitionScheduler scheduler(g, 32);
+  std::vector<std::atomic<int>> claims(scheduler.partitions().size());
+  std::atomic<std::size_t> index{0};
+  scheduler.for_each_partition([&](int, const VertexRange& range) {
+    // Identify the partition by matching its range.
+    for (std::size_t p = 0; p < scheduler.partitions().size(); ++p) {
+      if (scheduler.partitions()[p] == range) {
+        claims[p].fetch_add(1);
+        break;
+      }
+    }
+    index.fetch_add(1);
+  });
+  EXPECT_EQ(index.load(), scheduler.partitions().size());
+}
+
+TEST(Scheduler, EveryVertexVisitedExactlyOnce) {
+  const CsrGraph g = skewed_graph();
+  PartitionScheduler scheduler(g, 32);
+  std::vector<std::atomic<int>> visits(g.num_vertices());
+  scheduler.for_each_partition([&](int, const VertexRange& range) {
+    for (VertexId v = range.begin; v < range.end; ++v) {
+      visits[v].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(visits[v].load(), 1) << "vertex " << v;
+  }
+}
+
+TEST(Scheduler, ReusableAcrossCalls) {
+  const CsrGraph g = skewed_graph();
+  PartitionScheduler scheduler(g, 8);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<std::size_t> count{0};
+    scheduler.for_each_partition(
+        [&](int, const VertexRange&) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), scheduler.partitions().size());
+  }
+}
+
+TEST(Scheduler, PartitionCountMatchesPaperPolicy) {
+  const CsrGraph g = skewed_graph();
+  PartitionScheduler scheduler(g, 32);
+  EXPECT_EQ(scheduler.partitions().size(),
+            static_cast<std::size_t>(32 * scheduler.num_threads()));
+}
+
+TEST(Scheduler, WorksAtSeveralThreadWidths) {
+  const CsrGraph g = graph::build_csr(gen::cycle_edges(1000)).graph;
+  for (const int width : {1, 2, 4}) {
+    support::ThreadCountGuard guard(width);
+    PartitionScheduler scheduler(g, 4);
+    std::atomic<std::uint64_t> visited{0};
+    scheduler.for_each_partition([&](int, const VertexRange& range) {
+      visited.fetch_add(range.size());
+    });
+    EXPECT_EQ(visited.load(), g.num_vertices()) << "width " << width;
+  }
+}
+
+}  // namespace
+}  // namespace thrifty::partition

@@ -1,0 +1,119 @@
+// Tests for the induced-subgraph utility and the CSV exporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cc_baselines/reference_cc.hpp"
+#include "core/thrifty.hpp"
+#include "core/verify.hpp"
+#include "gen/combine.hpp"
+#include "gen/rmat.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "graph/subgraph.hpp"
+#include "instrument/csv_export.hpp"
+
+namespace thrifty {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+TEST(Subgraph, SelectsByPredicate) {
+  // Path 0-1-2-3-4; keep even vertices: no surviving edges.
+  const CsrGraph g = graph::build_csr(gen::path_edges(5)).graph;
+  const auto sub = graph::induced_subgraph(
+      g, [](VertexId v) { return v % 2 == 0; });
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_directed_edges(), 0u);
+  EXPECT_EQ(sub.new_to_old, (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_EQ(sub.old_to_new[1], graph::SubgraphResult::kNotSelected);
+}
+
+TEST(Subgraph, KeepsInternalEdges) {
+  // Clique of 6; keep the first 4: a clique of 4 remains.
+  const CsrGraph g = graph::build_csr(gen::clique_edges(6)).graph;
+  const auto sub =
+      graph::induced_subgraph(g, [](VertexId v) { return v < 4; });
+  EXPECT_EQ(sub.graph.num_vertices(), 4u);
+  EXPECT_EQ(sub.graph.num_undirected_edges(), 6u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(sub.graph.degree(v), 3u);
+  }
+}
+
+TEST(Subgraph, ComponentExtractionMatchesComponentSize) {
+  const std::vector<graph::EdgeList> parts{gen::clique_edges(30),
+                                           gen::cycle_edges(12)};
+  const std::vector<VertexId> sizes{30, 12};
+  const CsrGraph g =
+      graph::build_csr(gen::disjoint_union(parts, sizes), 42).graph;
+  const auto labels = baselines::reference_cc(g);
+  const auto giant = core::largest_component(labels.label_span());
+  const auto sub =
+      graph::component_subgraph(g, labels.label_span(), giant.label);
+  EXPECT_EQ(sub.graph.num_vertices(), 30u);
+  EXPECT_EQ(core::true_component_count(sub.graph), 1u);
+}
+
+TEST(Subgraph, AdjacencyStaysSortedAndSymmetric) {
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 6;
+  const CsrGraph g = graph::build_csr(gen::rmat_edges(params)).graph;
+  const auto sub = graph::induced_subgraph(
+      g, [](VertexId v) { return v % 3 != 0; });
+  for (VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
+    const auto nb = sub.graph.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    for (const VertexId u : nb) {
+      const auto nu = sub.graph.neighbors(u);
+      EXPECT_TRUE(std::binary_search(nu.begin(), nu.end(), v));
+    }
+  }
+}
+
+TEST(Subgraph, EmptySelection) {
+  const CsrGraph g = graph::build_csr(gen::clique_edges(5)).graph;
+  const auto sub =
+      graph::induced_subgraph(g, [](VertexId) { return false; });
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+}
+
+TEST(CsvExport, IterationRowsMatchRecords) {
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 6;
+  const CsrGraph g = graph::build_csr(gen::rmat_edges(params)).graph;
+  core::CcOptions options;
+  options.instrument = true;
+  const auto result = core::thrifty_cc(g, options);
+
+  std::ostringstream out;
+  instrument::write_iterations_csv(out, result.stats);
+  const std::string csv = out.str();
+  // Header + one line per iteration.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(result.stats.iterations.size()) + 1);
+  EXPECT_NE(csv.find("thrifty,0,Initial-Push"), std::string::npos);
+}
+
+TEST(CsvExport, SummaryRowsOnePerRun) {
+  gen::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 4;
+  const CsrGraph g = graph::build_csr(gen::rmat_edges(params)).graph;
+  core::CcOptions options;
+  options.instrument = true;
+  std::vector<instrument::RunStats> runs;
+  runs.push_back(core::thrifty_cc(g, options).stats);
+  runs.push_back(core::thrifty_cc(g, options).stats);
+  std::ostringstream out;
+  instrument::write_summary_csv(out, runs);
+  const std::string csv = out.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("thrifty,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace thrifty

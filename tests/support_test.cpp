@@ -1,0 +1,217 @@
+// Tests for src/support: timers, PRNGs, math helpers, env configuration,
+// parallel wrappers, uninitialised vectors.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "support/env.hpp"
+#include "support/math.hpp"
+#include "support/parallel.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace thrifty::support {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(timer.elapsed_ms(), 0.0);
+  EXPECT_GE(timer.elapsed_ns(), 0u);
+  EXPECT_GE(timer.elapsed_seconds(), 0.0);
+}
+
+TEST(Timer, RestartResetsOrigin) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double before = timer.elapsed_seconds();
+  timer.restart();
+  EXPECT_LE(timer.elapsed_seconds(), before + 1.0);
+}
+
+TEST(AccumulatingTimer, SumsIntervals) {
+  AccumulatingTimer acc;
+  acc.start();
+  acc.stop();
+  acc.start();
+  acc.stop();
+  EXPECT_GE(acc.total_ms(), 0.0);
+  acc.reset();
+  EXPECT_EQ(acc.total_ms(), 0.0);
+}
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(HashMix, IsDeterministicAndSpreads) {
+  EXPECT_EQ(hash_mix(7, 13), hash_mix(7, 13));
+  std::set<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 1000; ++i) values.insert(hash_mix(1, i));
+  EXPECT_EQ(values.size(), 1000u);
+}
+
+TEST(Xoshiro, NextBelowStaysInRange) {
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Xoshiro, NextBelowCoversRange) {
+  Xoshiro256StarStar rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, RoughlyUniform) {
+  Xoshiro256StarStar rng(6);
+  const int buckets = 10;
+  std::vector<int> histogram(buckets, 0);
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    ++histogram[static_cast<int>(rng.next_double() * buckets)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, samples / buckets, samples / buckets / 5);
+  }
+}
+
+TEST(Math, GeomeanOfEqualValues) {
+  const std::vector<double> values{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(geomean(values), 2.0);
+}
+
+TEST(Math, GeomeanKnownValue) {
+  const std::vector<double> values{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(values), 2.0);
+}
+
+TEST(Math, MeanAndPercentile) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 4.0);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 8), 1);
+  EXPECT_EQ(ceil_div(0, 8), 0);
+}
+
+TEST(Env, StringUnsetReturnsNullopt) {
+  ::unsetenv("THRIFTY_TEST_UNSET_VAR");
+  EXPECT_FALSE(env_string("THRIFTY_TEST_UNSET_VAR").has_value());
+}
+
+TEST(Env, StringSetReturnsValue) {
+  ::setenv("THRIFTY_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("THRIFTY_TEST_VAR").value(), "hello");
+  ::unsetenv("THRIFTY_TEST_VAR");
+}
+
+TEST(Env, IntParsesAndFallsBack) {
+  ::setenv("THRIFTY_TEST_INT", "123", 1);
+  EXPECT_EQ(env_int("THRIFTY_TEST_INT", 7), 123);
+  ::setenv("THRIFTY_TEST_INT", "bogus", 1);
+  EXPECT_EQ(env_int("THRIFTY_TEST_INT", 7), 7);
+  ::unsetenv("THRIFTY_TEST_INT");
+  EXPECT_EQ(env_int("THRIFTY_TEST_INT", 7), 7);
+}
+
+TEST(Env, ScaleParses) {
+  ::setenv("THRIFTY_SCALE", "tiny", 1);
+  EXPECT_EQ(bench_scale(), Scale::kTiny);
+  ::setenv("THRIFTY_SCALE", "large", 1);
+  EXPECT_EQ(bench_scale(), Scale::kLarge);
+  ::setenv("THRIFTY_SCALE", "garbage", 1);
+  EXPECT_EQ(bench_scale(), Scale::kSmall);
+  ::unsetenv("THRIFTY_SCALE");
+  EXPECT_EQ(bench_scale(), Scale::kSmall);
+  EXPECT_STREQ(to_string(Scale::kTiny), "tiny");
+  EXPECT_STREQ(to_string(Scale::kSmall), "small");
+  EXPECT_STREQ(to_string(Scale::kLarge), "large");
+}
+
+TEST(Parallel, ParallelForVisitsEveryIndex) {
+  const int n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](int i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ParallelSumMatchesSerial) {
+  const std::uint64_t n = 100000;
+  const std::uint64_t total =
+      parallel_sum(n, [](std::uint64_t i) { return i; });
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(Parallel, ParallelRegionRunsEveryThread) {
+  std::vector<std::atomic<int>> hits(
+      static_cast<std::size_t>(num_threads()));
+  parallel_region([&](int tid, int nthreads) {
+    EXPECT_LT(tid, nthreads);
+    hits[static_cast<std::size_t>(tid)].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_GE(total, 1);
+}
+
+TEST(Parallel, ThreadCountGuardRestores) {
+  const int before = num_threads();
+  {
+    ThreadCountGuard guard(2);
+    EXPECT_EQ(num_threads(), 2);
+  }
+  EXPECT_EQ(num_threads(), before);
+}
+
+TEST(UninitVector, BehavesLikeVectorForWrites) {
+  UninitVector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  v.resize(200);
+  v[199] = 42;
+  EXPECT_EQ(v[199], 42);
+}
+
+TEST(UninitVector, ExplicitValueConstructionStillWorks) {
+  UninitVector<int> v(50, 7);
+  for (int x : v) EXPECT_EQ(x, 7);
+}
+
+}  // namespace
+}  // namespace thrifty::support

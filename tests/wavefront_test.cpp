@@ -1,0 +1,98 @@
+// Tests of the wavefront tracer on the paper's Figure 2 example: one-hop-
+// per-iteration propagation under synchronous (two-array) LP, faster
+// propagation under the unified array, and the effect of planting the
+// smallest label in the core instead of the fringe.
+#include <gtest/gtest.h>
+
+#include "core/wavefront_trace.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+
+namespace thrifty::core {
+namespace {
+
+using graph::CsrGraph;
+using graph::Label;
+using graph::VertexId;
+
+CsrGraph figure2_graph() {
+  return graph::build_csr(gen::figure2_example_edges(), 6).graph;
+}
+
+TEST(Wavefront, SynchronousMovesOneHopPerIteration) {
+  const CsrGraph g = figure2_graph();
+  // Identity labels: 0 sits on fringe vertex A; the farthest vertex F is
+  // 4 hops away, so label 0 needs exactly 4 propagation iterations.
+  const WavefrontTrace trace =
+      trace_synchronous_lp(g, identity_labels(6));
+  EXPECT_EQ(trace.iterations(), 4);
+  // After iteration k, label 0 has reached exactly the k-hop ball of A:
+  // A=0,B=1,C=2,E=4,D=3/F=5 at distances 0,1,2,3,4.
+  EXPECT_EQ(trace.snapshots[1][1], 0u);  // B after 1 iteration
+  EXPECT_NE(trace.snapshots[1][2], 0u);
+  EXPECT_EQ(trace.snapshots[2][2], 0u);  // C after 2
+  EXPECT_EQ(trace.snapshots[3][4], 0u);  // E after 3
+  EXPECT_NE(trace.snapshots[3][5], 0u);
+  EXPECT_EQ(trace.snapshots[4][5], 0u);  // F after 4
+}
+
+TEST(Wavefront, RepeatedWavefrontsVisible) {
+  // §III-A: label 1 (vertex B) first sweeps into the core, then label 0
+  // overwrites it — the "repeated wavefront".  Vertex C must transiently
+  // hold label 1 before converging to 0.
+  const CsrGraph g = figure2_graph();
+  const WavefrontTrace trace =
+      trace_synchronous_lp(g, identity_labels(6));
+  EXPECT_EQ(trace.snapshots[1][2], 1u);  // C picked up B's label first
+  EXPECT_EQ(trace.snapshots.back()[2], 0u);
+}
+
+TEST(Wavefront, UnifiedPropagatesFasterOnFigure2) {
+  const CsrGraph g = figure2_graph();
+  const WavefrontTrace sync = trace_synchronous_lp(g, identity_labels(6));
+  const WavefrontTrace unified = trace_unified_lp(g, identity_labels(6));
+  EXPECT_LT(unified.iterations(), sync.iterations());
+  // Ascending schedule sweeps label 0 across the whole graph in one pass
+  // (plus one fixed-point check at most).
+  EXPECT_LE(unified.iterations(), 2);
+  EXPECT_EQ(unified.snapshots.back(), sync.snapshots.back());
+}
+
+TEST(Wavefront, CorePlantingConvergesInFewerIterations) {
+  // §III-C: planting the smallest label on core vertex E instead of
+  // fringe vertex A shortens propagation.
+  const CsrGraph g = figure2_graph();
+  const WavefrontTrace fringe =
+      trace_synchronous_lp(g, identity_labels(6));
+  const WavefrontTrace core =
+      trace_synchronous_lp(g, zero_planted_labels(g));
+  EXPECT_LT(core.iterations(), fringe.iterations());
+}
+
+TEST(Wavefront, ZeroPlantedLabelsShape) {
+  const CsrGraph g = figure2_graph();
+  const auto labels = zero_planted_labels(g);
+  EXPECT_EQ(labels[4], 0u);  // E is the max-degree vertex
+  for (VertexId v = 0; v < 6; ++v) {
+    if (v != 4) {
+      EXPECT_EQ(labels[v], v + 1);
+    }
+  }
+}
+
+TEST(Wavefront, ConvergedLabelsAreComponentMinima) {
+  const CsrGraph g = graph::build_csr(gen::path_edges(10)).graph;
+  const WavefrontTrace trace =
+      trace_synchronous_lp(g, identity_labels(10));
+  for (const Label l : trace.snapshots.back()) EXPECT_EQ(l, 0u);
+}
+
+TEST(Wavefront, InitialSnapshotIsInput) {
+  const CsrGraph g = figure2_graph();
+  const auto initial = identity_labels(6);
+  const WavefrontTrace trace = trace_synchronous_lp(g, initial);
+  EXPECT_EQ(trace.snapshots.front(), initial);
+}
+
+}  // namespace
+}  // namespace thrifty::core

@@ -1,0 +1,91 @@
+// graph_info — inspect a graph's structural profile: size, degree
+// statistics, power-law classification, component census, giant-component
+// coverage (the Table I quantities), and a log2 degree histogram.
+//
+//   graph_info <graph|gen:spec> [--histogram] [--components]
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "cc_baselines/reference_cc.hpp"
+#include "core/cc_common.hpp"
+#include "graph/degree_stats.hpp"
+#include "tools/tool_common.hpp"
+
+namespace {
+
+using namespace thrifty;  // NOLINT(google-build-using-namespace)
+
+int run(int argc, char** argv) {
+  const tools::ArgParser args(argc, argv);
+  if (args.positional().size() != 1 || args.has_flag("help")) {
+    std::fprintf(stderr,
+                 "usage: graph_info <graph|gen:spec> [--histogram] "
+                 "[--components]\n");
+    return args.has_flag("help") ? 0 : 2;
+  }
+  const auto unknown =
+      args.unknown_flags({"histogram", "components", "help"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
+    return 2;
+  }
+
+  const graph::CsrGraph g = tools::load_graph(args.positional()[0]);
+  std::printf("size:        %s\n", tools::summarize(g).c_str());
+
+  const auto stats = graph::compute_degree_stats(g);
+  std::printf("degrees:     min %llu, median %.1f, mean %.2f, max %llu\n",
+              static_cast<unsigned long long>(stats.min_degree),
+              stats.median_degree, stats.mean_degree,
+              static_cast<unsigned long long>(stats.max_degree));
+  std::printf("skew:        top-1%% edge share %.2f%%, %.1f%% of vertices "
+              "above mean degree\n",
+              stats.top1pct_edge_share * 100.0,
+              stats.fraction_above_mean * 100.0);
+  std::printf("class:       %s\n", graph::looks_power_law(g)
+                                       ? "power-law (skewed)"
+                                       : "uniform / non-skewed");
+  if (!g.empty()) {
+    const graph::VertexId hub = g.max_degree_vertex();
+    std::printf("hub:         vertex %u (degree %llu)\n", hub,
+                static_cast<unsigned long long>(g.degree(hub)));
+  }
+
+  if (args.has_flag("histogram")) {
+    std::printf("\nlog2 degree histogram:\n");
+    const auto histogram = graph::log2_degree_histogram(g);
+    for (std::size_t b = 0; b < histogram.size(); ++b) {
+      if (histogram[b] == 0) continue;
+      std::printf("  deg 2^%-2zu: %llu vertices\n", b,
+                  static_cast<unsigned long long>(histogram[b]));
+    }
+  }
+
+  if (args.has_flag("components") && !g.empty()) {
+    const auto result = baselines::reference_cc(g);
+    const auto components = core::count_components(result.label_span());
+    const auto giant = core::largest_component(result.label_span());
+    const graph::Label hub_label =
+        result.labels[g.max_degree_vertex()];
+    std::printf("\ncomponents:  %llu\n",
+                static_cast<unsigned long long>(components));
+    std::printf("giant:       %llu vertices (%.2f%%); max-degree vertex "
+                "inside: %s\n",
+                static_cast<unsigned long long>(giant.size),
+                100.0 * static_cast<double>(giant.size) / g.num_vertices(),
+                hub_label == giant.label ? "yes" : "no");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
