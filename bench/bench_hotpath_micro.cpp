@@ -1,0 +1,326 @@
+// Microbenchmarks of the PR's four hot-path optimisations, with the
+// atomic-heavy predecessors kept here as in-tree baselines:
+//   * CSR build: per-thread counting sort vs the atomic-degree two-pass
+//     scatter (the previous builder, preserved verbatim below),
+//   * push iteration over a star-dominated R-MAT graph: hub-split +
+//     inline frontier mass vs unsplit consumption + serial mass rescan,
+//   * end-to-end thrifty_cc on the twitter stand-in (with and without
+//     hub splitting).
+// `--json <path>` dumps the numbers for scripts/bench_compare.py.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/harness.hpp"
+#include "bench_common/json_report.hpp"
+#include "bench_common/table_printer.hpp"
+#include "core/cc_common.hpp"
+#include "core/thrifty.hpp"
+#include "frontier/hub_chunks.hpp"
+#include "frontier/local_worklists.hpp"
+#include "gen/rmat.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "support/env.hpp"
+#include "support/parallel.hpp"
+#include "support/timer.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace {
+
+using namespace thrifty;  // NOLINT(google-build-using-namespace)
+using graph::CsrGraph;
+using graph::Edge;
+using graph::EdgeList;
+using graph::EdgeOffset;
+using graph::Label;
+using graph::VertexId;
+using support::UninitVector;
+
+// ---------------------------------------------------------------------------
+// Baseline 1: the previous builder — atomic degree counting and an atomic
+// per-vertex cursor in the scatter, so every edge of a hub serialises on
+// one cache line.  Default-options path only (drop self loops, dedup,
+// compact), which is what every benchmark graph uses.
+CsrGraph build_csr_atomic_baseline(const EdgeList& edges, VertexId n) {
+  const std::size_t m = edges.size();
+  std::vector<std::atomic<EdgeOffset>> degrees(n);
+  support::parallel_for(n, [&](VertexId v) {
+    degrees[v].store(0, std::memory_order_relaxed);
+  });
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    const Edge e = edges[i];
+    if (e.u == e.v) continue;
+    degrees[e.u].fetch_add(1, std::memory_order_relaxed);
+    degrees[e.v].fetch_add(1, std::memory_order_relaxed);
+  }
+  UninitVector<EdgeOffset> offsets(static_cast<std::size_t>(n) + 1);
+  EdgeOffset running = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v] = running;
+    running += degrees[v].load(std::memory_order_relaxed);
+  }
+  offsets[n] = running;
+  UninitVector<VertexId> neighbors(running);
+  support::parallel_for(n, [&](VertexId v) {
+    degrees[v].store(0, std::memory_order_relaxed);
+  });
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    const Edge e = edges[i];
+    if (e.u == e.v) continue;
+    neighbors[offsets[e.u] +
+              degrees[e.u].fetch_add(1, std::memory_order_relaxed)] = e.v;
+    neighbors[offsets[e.v] +
+              degrees[e.v].fetch_add(1, std::memory_order_relaxed)] = e.u;
+  }
+  UninitVector<EdgeOffset> final_degree(n);
+  support::parallel_for_dynamic(n, [&](VertexId v) {
+    VertexId* first = neighbors.data() + offsets[v];
+    VertexId* last = neighbors.data() + offsets[v + 1];
+    std::sort(first, last);
+    last = std::unique(first, last);
+    final_degree[v] = static_cast<EdgeOffset>(last - first);
+  });
+  std::vector<VertexId> old_to_new(n, static_cast<VertexId>(-1));
+  VertexId new_n = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (final_degree[v] > 0) old_to_new[v] = new_n++;
+  }
+  UninitVector<EdgeOffset> new_offsets(static_cast<std::size_t>(new_n) + 1);
+  UninitVector<EdgeOffset> src_start(new_n);
+  {
+    EdgeOffset out_edges = 0;
+    VertexId out = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (final_degree[v] == 0) continue;
+      new_offsets[out] = out_edges;
+      src_start[out] = offsets[v];
+      out_edges += final_degree[v];
+      ++out;
+    }
+    new_offsets[new_n] = out_edges;
+  }
+  UninitVector<VertexId> new_neighbors(new_offsets.back());
+  support::parallel_for_dynamic(new_n, [&](VertexId nv) {
+    const EdgeOffset count = new_offsets[nv + 1] - new_offsets[nv];
+    const VertexId* src = neighbors.data() + src_start[nv];
+    VertexId* dst = new_neighbors.data() + new_offsets[nv];
+    for (EdgeOffset k = 0; k < count; ++k) dst[k] = old_to_new[src[k]];
+  });
+  return CsrGraph(std::move(new_offsets), std::move(new_neighbors));
+}
+
+// ---------------------------------------------------------------------------
+
+int scale_to_rmat_scale(support::Scale scale) {
+  switch (scale) {
+    case support::Scale::kTiny: return 12;
+    case support::Scale::kLarge: return 16;
+    case support::Scale::kSmall: break;
+  }
+  return 14;
+}
+
+/// R-MAT plus a full star overlaid on the same id space: a graph whose
+/// biggest hub owns >1/3 of all directed edges — the degenerate shape hub
+/// splitting exists for.
+EdgeList star_dominated_edges(int rmat_scale) {
+  gen::RmatParams params;
+  params.scale = rmat_scale;
+  params.edge_factor = 8;
+  EdgeList edges = gen::rmat_edges(params);
+  const auto n = static_cast<VertexId>(VertexId{1} << rmat_scale);
+  const EdgeList star = gen::star_edges(n, 0);
+  edges.insert(edges.end(), star.begin(), star.end());
+  return edges;
+}
+
+template <typename Fn>
+double min_time_ms(int trials, Fn&& fn) {
+  double best = 0.0;
+  fn();  // warmup
+  for (int t = 0; t < trials; ++t) {
+    support::Timer timer;
+    fn();
+    const double ms = timer.elapsed_ms();
+    if (t == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void expect_same_graph(const CsrGraph& a, const CsrGraph& b) {
+  if (a.num_vertices() != b.num_vertices() ||
+      a.num_directed_edges() != b.num_directed_edges() ||
+      !std::equal(a.offsets().begin(), a.offsets().end(),
+                  b.offsets().begin()) ||
+      !std::equal(a.neighbor_array().begin(), a.neighbor_array().end(),
+                  b.neighbor_array().begin())) {
+    std::fprintf(stderr, "FATAL: builders disagree — refusing to time\n");
+    std::abort();
+  }
+}
+
+/// One push iteration with a full-graph frontier.  `split` selects the
+/// optimised path (hub chunks + inline mass) or the baseline (unsplit
+/// consumption followed by the old serial O(frontier) mass rescan).
+/// Returns the (vertices, edges) mass of the built frontier so the two
+/// paths can be cross-checked and the work cannot be optimised away.
+frontier::LocalWorklists::Mass push_iteration(
+    const CsrGraph& g, core::LabelArray& labels,
+    frontier::LocalWorklists& current, frontier::LocalWorklists& next,
+    bool split) {
+  const auto degree_of = [&g](VertexId v) { return g.degree(v); };
+  frontier::LocalWorklists::Mass mass;
+  if (split) {
+    const EdgeOffset threshold = frontier::hub_split_threshold(
+        g.num_directed_edges(), support::num_threads());
+    const auto push_along = [&](int t, Label lv,
+                                std::span<const VertexId> nbrs) {
+      for (const VertexId u : nbrs) {
+        if (core::atomic_min(labels[u], lv)) next.push(t, u, g.degree(u));
+      }
+    };
+    current.process_with_stealing_split(
+        threshold, degree_of,
+        [&](int t, VertexId v) {
+          push_along(t, core::load_label(labels[v]), g.neighbors(v));
+        },
+        [&](int t, VertexId v, EdgeOffset begin, EdgeOffset end) {
+          push_along(t, core::load_label(labels[v]),
+                     g.neighbors(v).subspan(begin, end - begin));
+        });
+    mass = next.mass();
+  } else {
+    current.process_with_stealing([&](int t, VertexId v) {
+      const Label lv = core::load_label(labels[v]);
+      for (const VertexId u : g.neighbors(v)) {
+        if (core::atomic_min(labels[u], lv)) next.push(t, u);
+      }
+    });
+    // The pre-PR frontier-mass accounting: a serial rescan of every list.
+    for (int t = 0; t < next.num_threads(); ++t) {
+      for (const VertexId v : next.list(t)) {
+        ++mass.vertices;
+        mass.edges += g.degree(v);
+      }
+    }
+  }
+  return mass;
+}
+
+double time_push(const CsrGraph& g, bool split, int trials,
+                 std::uint64_t* mass_out) {
+  const VertexId n = g.num_vertices();
+  const int threads = support::num_threads();
+  frontier::LocalWorklists current(n, threads);
+  frontier::LocalWorklists next(n, threads);
+  for (VertexId v = 0; v < n; ++v) current.push(0, v, g.degree(v));
+  core::LabelArray labels(n);
+  frontier::LocalWorklists::Mass mass;
+  const double ms = min_time_ms(trials, [&] {
+    next.clear();
+    support::parallel_for(n, [&](VertexId v) { labels[v] = v; });
+    mass = push_iteration(g, labels, current, next, split);
+  });
+  *mass_out = mass.vertices + mass.edges;
+  return ms;
+}
+
+int run(int argc, char** argv) {
+  const auto scale = support::bench_scale();
+  const int trials = bench::default_trials();
+  bench::print_banner(
+      std::string("Hot-path microbenchmarks (scale: ") +
+      support::to_string(scale) + ", threads: " +
+      std::to_string(support::num_threads()) + ")");
+
+  bench::JsonReport report;
+  bench::TablePrinter table(
+      {"Kernel", "Baseline (ms)", "Optimized (ms)", "Speedup"});
+
+  const int rmat_scale = scale_to_rmat_scale(scale);
+  const EdgeList edges = star_dominated_edges(rmat_scale);
+  const auto id_space = static_cast<VertexId>(VertexId{1} << rmat_scale);
+
+  // --- CSR build: counting sort vs atomic scatter, identical output.
+  {
+    const CsrGraph from_baseline =
+        build_csr_atomic_baseline(edges, id_space);
+    const CsrGraph from_optimized = graph::build_csr(edges, id_space).graph;
+    expect_same_graph(from_baseline, from_optimized);
+    const double baseline_ms = min_time_ms(trials, [&] {
+      const CsrGraph g = build_csr_atomic_baseline(edges, id_space);
+      if (g.num_vertices() == 0) std::abort();
+    });
+    const double optimized_ms = min_time_ms(trials, [&] {
+      const CsrGraph g = graph::build_csr(edges, id_space).graph;
+      if (g.num_vertices() == 0) std::abort();
+    });
+    report.add_comparison("csr_build_star_rmat", baseline_ms, optimized_ms);
+    table.add_row({"csr_build_star_rmat",
+                   bench::TablePrinter::fmt_ms(baseline_ms),
+                   bench::TablePrinter::fmt_ms(optimized_ms),
+                   bench::TablePrinter::fmt_ratio(baseline_ms /
+                                                  optimized_ms)});
+  }
+
+  // --- Push iteration over the star-dominated graph.
+  {
+    const CsrGraph g = graph::build_csr(edges, id_space).graph;
+    std::uint64_t mass_baseline = 0;
+    std::uint64_t mass_optimized = 0;
+    const double baseline_ms =
+        time_push(g, /*split=*/false, trials, &mass_baseline);
+    const double optimized_ms =
+        time_push(g, /*split=*/true, trials, &mass_optimized);
+    if (mass_baseline != mass_optimized) {
+      std::fprintf(stderr,
+                   "FATAL: push paths built different frontiers "
+                   "(%llu vs %llu)\n",
+                   static_cast<unsigned long long>(mass_baseline),
+                   static_cast<unsigned long long>(mass_optimized));
+      std::abort();
+    }
+    report.add_comparison("push_star_dominated", baseline_ms, optimized_ms);
+    table.add_row({"push_star_dominated",
+                   bench::TablePrinter::fmt_ms(baseline_ms),
+                   bench::TablePrinter::fmt_ms(optimized_ms),
+                   bench::TablePrinter::fmt_ratio(baseline_ms /
+                                                  optimized_ms)});
+  }
+
+  // --- End-to-end thrifty_cc on the twitter stand-in; "baseline" runs
+  // with hub splitting disabled (threshold above any degree), the
+  // optimised run with the default threshold.
+  {
+    const auto* spec = bench::find_dataset("twitter");
+    const CsrGraph g = bench::build_dataset(*spec, scale);
+    ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "1000000000", 1);
+    const double nosplit_ms =
+        min_time_ms(trials, [&] { (void)core::thrifty_cc(g); });
+    ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
+    const double split_ms =
+        min_time_ms(trials, [&] { (void)core::thrifty_cc(g); });
+    report.add_comparison("thrifty_twitter_e2e", nosplit_ms, split_ms);
+    table.add_row({"thrifty_twitter_e2e (split off/on)",
+                   bench::TablePrinter::fmt_ms(nosplit_ms),
+                   bench::TablePrinter::fmt_ms(split_ms),
+                   bench::TablePrinter::fmt_ratio(nosplit_ms / split_ms)});
+  }
+
+  table.print();
+
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  if (!json_path.empty() && !report.write_file(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

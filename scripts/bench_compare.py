@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare benchmark JSON reports produced with --json.
+
+Two modes:
+
+  bench_compare.py RESULTS.json
+      Print the entries of a single report.  Entries carrying an internal
+      baseline (baseline_ms/optimized_ms pairs, as written by
+      bench_hotpath_micro) also show their speedup.
+
+  bench_compare.py OLD.json NEW.json [--metric METRIC]
+      Match entries by name and report OLD/NEW ratios for METRIC (default:
+      every shared numeric metric), plus the geometric mean.  Ratios > 1
+      mean NEW is faster (for time-like metrics).
+
+Exits non-zero when files are unreadable or no entries match, so CI can
+gate on regressions with a wrapper.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if "benchmarks" not in doc or not isinstance(doc["benchmarks"], list):
+        sys.exit(f"error: {path} has no 'benchmarks' list")
+    return doc
+
+
+def numeric_metrics(entry):
+    return {
+        key: value
+        for key, value in entry.items()
+        if key != "name" and isinstance(value, (int, float))
+    }
+
+
+def show_single(doc):
+    print(f"threads={doc.get('threads', '?')} scale={doc.get('scale', '?')}")
+    for entry in doc["benchmarks"]:
+        metrics = numeric_metrics(entry)
+        rendered = "  ".join(f"{k}={v:.4g}" for k, v in metrics.items())
+        print(f"  {entry.get('name', '?'):32s} {rendered}")
+
+
+def compare(old_doc, new_doc, metric):
+    old_entries = {e.get("name"): e for e in old_doc["benchmarks"]}
+    ratios = []
+    print(f"{'benchmark':32s} {'metric':16s} {'old':>10s} {'new':>10s} "
+          f"{'old/new':>8s}")
+    for entry in new_doc["benchmarks"]:
+        name = entry.get("name")
+        old = old_entries.get(name)
+        if old is None:
+            continue
+        keys = [metric] if metric else sorted(
+            set(numeric_metrics(entry)) & set(numeric_metrics(old)))
+        for key in keys:
+            if key not in entry or key not in old:
+                continue
+            old_value, new_value = old[key], entry[key]
+            ratio = old_value / new_value if new_value else float("nan")
+            print(f"{name:32s} {key:16s} {old_value:10.4g} "
+                  f"{new_value:10.4g} {ratio:8.3f}")
+            if key.endswith("_ms") and new_value and old_value:
+                ratios.append(ratio)
+    if not ratios:
+        sys.exit("error: no matching *_ms metrics between the two reports")
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"\ngeomean old/new over {len(ratios)} time metrics: "
+          f"{geomean:.3f}x")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reports", nargs="+", help="one or two JSON reports")
+    parser.add_argument("--metric", default=None,
+                        help="restrict the comparison to one metric name")
+    args = parser.parse_args()
+    if len(args.reports) == 1:
+        show_single(load(args.reports[0]))
+    elif len(args.reports) == 2:
+        compare(load(args.reports[0]), load(args.reports[1]), args.metric)
+    else:
+        parser.error("expected one or two report paths")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#include "bench_common/json_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/env.hpp"
+#include "support/parallel.hpp"
+
+namespace thrifty::bench {
+
+namespace {
+
+/// Escapes the characters that can appear in our metric/benchmark names;
+/// names are internal identifiers, not arbitrary user text.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string format_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void JsonReport::add(JsonEntry entry) {
+  entries_.push_back(std::move(entry));
+}
+
+void JsonReport::add_comparison(const std::string& name, double baseline_ms,
+                                double optimized_ms) {
+  JsonEntry entry;
+  entry.name = name;
+  entry.metrics.emplace_back("baseline_ms", baseline_ms);
+  entry.metrics.emplace_back("optimized_ms", optimized_ms);
+  entry.metrics.emplace_back(
+      "speedup", optimized_ms > 0.0 ? baseline_ms / optimized_ms : 0.0);
+  entries_.push_back(std::move(entry));
+}
+
+std::string JsonReport::to_string() const {
+  std::string out = "{\n";
+  out += "  \"threads\": " +
+         std::to_string(support::num_threads()) + ",\n";
+  out += "  \"scale\": \"";
+  out += support::to_string(support::bench_scale());
+  out += "\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const JsonEntry& e = entries_[i];
+    out += "    {\"name\": \"" + escape(e.name) + "\"";
+    for (const auto& [key, value] : e.metrics) {
+      out += ", \"" + escape(key) + "\": " + format_number(value);
+    }
+    out += i + 1 < entries_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool JsonReport::write_file(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "json_report: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = to_string();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), file) ==
+                  body.size();
+  std::fclose(file);
+  if (ok) std::printf("JSON written to %s\n", path.c_str());
+  return ok;
+}
+
+std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "json_report: --json requires a path\n");
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+}  // namespace thrifty::bench

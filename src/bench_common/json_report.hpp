@@ -1,0 +1,46 @@
+// Machine-readable benchmark output.  The table/figure harnesses print
+// human-oriented tables; passing `--json <path>` additionally dumps the
+// numbers as a flat JSON document so runs can be diffed across commits
+// (scripts/bench_compare.py consumes this format).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace thrifty::bench {
+
+/// One benchmark entry: a name plus flat numeric metrics
+/// (e.g. {"baseline_ms": 12.3, "optimized_ms": 8.1, "speedup": 1.52}).
+struct JsonEntry {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Accumulates entries and serialises them as
+///   {"threads": T, "scale": "...", "benchmarks": [...]}
+/// with the OpenMP width and THRIFTY_SCALE recorded so a results file is
+/// self-describing.
+class JsonReport {
+ public:
+  void add(JsonEntry entry);
+
+  /// Convenience for the common pair-of-times shape; also derives the
+  /// baseline/optimized speedup metric.
+  void add_comparison(const std::string& name, double baseline_ms,
+                      double optimized_ms);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to `path`; returns false (after printing the reason to
+  /// stderr) when the file cannot be created.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<JsonEntry> entries_;
+};
+
+/// Extracts the value of a `--json <path>` argument; empty when absent.
+[[nodiscard]] std::string json_path_from_args(int argc, char** argv);
+
+}  // namespace thrifty::bench

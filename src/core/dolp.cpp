@@ -1,14 +1,17 @@
 #include "core/dolp.hpp"
 
 #include <algorithm>
-#include <vector>
+#include <span>
 
 #include "core/lp_internal.hpp"
 #include "frontier/bitmap.hpp"
 #include "frontier/density.hpp"
+#include "frontier/hub_chunks.hpp"
 #include "frontier/sliding_queue.hpp"
 #include "instrument/counters.hpp"
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
+#include "support/prefetch.hpp"
 #include "support/timer.hpp"
 
 namespace thrifty::core {
@@ -51,10 +54,16 @@ CcResult dolp_impl(const CsrGraph& g, const CcOptions& options,
   }
 
   // Frontier bookkeeping: a bitmap deduplicates push insertions within an
-  // iteration; the sliding queue collects the next iteration's actives.
+  // iteration; two sliding queues ping-pong between "current window" and
+  // "next frontier" roles via swap(), so no iteration pays a serial
+  // O(frontier) copy into a separate actives vector.
   frontier::Bitmap inserted(n);
-  frontier::SlidingQueue queue(n);
-  std::vector<VertexId> actives;  // explicit worklist for push iterations
+  frontier::SlidingQueue queue(n);    // collects the next frontier
+  frontier::SlidingQueue actives(n);  // window consumed by push iterations
+
+  const EdgeOffset hub_threshold =
+      frontier::hub_split_threshold(m, support::num_threads());
+  const auto degree_of = [&g](VertexId v) { return g.degree(v); };
 
   std::uint64_t active_vertices = n;
   std::uint64_t active_edges = m;
@@ -81,17 +90,25 @@ CcResult dolp_impl(const CsrGraph& g, const CcOptions& options,
 
     if (sparse) {
       // Push traversal (Lines 9-12): propagate each active vertex's label
-      // to its neighbours with atomic_min.
+      // to its neighbours with atomic_min.  Hubs — vertices whose degree
+      // exceeds hub_threshold — are stashed during the vertex-parallel
+      // sweep and re-traversed edge-parallel afterwards, so one
+      // high-degree vertex cannot serialise the iteration.
       rec.direction = Direction::kPush;
+      const auto window = actives.window();
+      frontier::HubChunks hubs(support::num_threads());
 #pragma omp parallel reduction(+ : changes, changed_edges)
       {
+        const int t = support::thread_id();
         frontier::SlidingQueue::LocalBuffer buffer(queue);
-#pragma omp for schedule(dynamic, 64) nowait
-        for (std::size_t i = 0; i < actives.size(); ++i) {
-          const VertexId v = actives[i];
-          counters.label_read();
-          const Label lv = kUnified ? load_label(new_lbs[v]) : old_lbs[v];
-          for (const VertexId u : g.neighbors(v)) {
+        const auto push_label_along = [&](Label lv,
+                                          std::span<const VertexId> nbrs) {
+          for (std::size_t j = 0; j < nbrs.size(); ++j) {
+            if (j + support::kPrefetchDistance < nbrs.size()) {
+              support::prefetch_write(
+                  &new_lbs[nbrs[j + support::kPrefetchDistance]]);
+            }
+            const VertexId u = nbrs[j];
             counters.edge();
             counters.cas_attempt();
             if (atomic_min(new_lbs[u], lv)) {
@@ -105,7 +122,30 @@ CcResult dolp_impl(const CsrGraph& g, const CcOptions& options,
               }
             }
           }
+        };
+#pragma omp for schedule(dynamic, 64)
+        for (std::size_t i = 0; i < window.size(); ++i) {
+          const VertexId v = window[i];
+          if (g.degree(v) > hub_threshold) {
+            hubs.collect(t, v);
+            continue;
+          }
+          counters.label_read();
+          const Label lv = kUnified ? load_label(new_lbs[v]) : old_lbs[v];
+          push_label_along(lv, g.neighbors(v));
         }
+        // The worksharing barrier above guarantees every hub is collected
+        // before one thread builds the chunk index.
+#pragma omp single
+        hubs.finalize(degree_of);
+        hubs.drain(t, degree_of,
+                   [&](int, VertexId v, EdgeOffset begin, EdgeOffset end) {
+                     counters.label_read();
+                     const Label lv =
+                         kUnified ? load_label(new_lbs[v]) : old_lbs[v];
+                     push_label_along(
+                         lv, g.neighbors(v).subspan(begin, end - begin));
+                   });
       }
     } else {
       // Pull traversal (Lines 13-20): every vertex recomputes its label as
@@ -120,7 +160,14 @@ CcResult dolp_impl(const CsrGraph& g, const CcOptions& options,
           const Label old_label =
               kUnified ? load_label(new_lbs[v]) : old_lbs[v];
           Label new_label = old_label;
-          for (const VertexId u : g.neighbors(v)) {
+          const auto nbrs = g.neighbors(v);
+          for (std::size_t j = 0; j < nbrs.size(); ++j) {
+            if (j + support::kPrefetchDistance < nbrs.size()) {
+              const VertexId ahead = nbrs[j + support::kPrefetchDistance];
+              support::prefetch_read(kUnified ? &new_lbs[ahead]
+                                              : &old_lbs[ahead]);
+            }
+            const VertexId u = nbrs[j];
             counters.edge();
             counters.label_read();
             const Label lu =
@@ -155,8 +202,7 @@ CcResult dolp_impl(const CsrGraph& g, const CcOptions& options,
     }
 
     queue.slide_window();
-    const auto window = queue.window();
-    actives.assign(window.begin(), window.end());
+    actives.swap(queue);  // new frontier becomes next iteration's window
 
     rec.label_changes = changes;
     rec.time_ms = iteration_timer.elapsed_ms();

@@ -4,15 +4,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <unordered_set>
 #include <vector>
 
 #include "core/lp_internal.hpp"
 #include "frontier/density.hpp"
+#include "frontier/hub_chunks.hpp"
 #include "frontier/local_worklists.hpp"
 #include "partition/scheduler.hpp"
 #include "instrument/counters.hpp"
 #include "support/assert.hpp"
 #include "support/parallel.hpp"
+#include "support/prefetch.hpp"
 #include "support/random.hpp"
 #include "support/timer.hpp"
 
@@ -27,25 +30,6 @@ using instrument::IterationRecord;
 
 namespace {
 
-/// Total vertices and incident directed edges of a built frontier —
-/// the |F.V| and |F.E| used by the next direction decision.
-struct FrontierMass {
-  std::uint64_t vertices = 0;
-  std::uint64_t edges = 0;
-};
-
-FrontierMass frontier_mass(const frontier::LocalWorklists& lists,
-                           const CsrGraph& g) {
-  FrontierMass mass;
-  for (int t = 0; t < lists.num_threads(); ++t) {
-    for (const VertexId v : lists.list(t)) {
-      ++mass.vertices;
-      mass.edges += g.degree(v);
-    }
-  }
-  return mass;
-}
-
 /// The k vertices receiving the smallest labels (0..k-1, in order).
 std::vector<VertexId> select_plant_sites(const CsrGraph& g, PlantSite site,
                                          int count, std::uint64_t seed) {
@@ -56,30 +40,51 @@ std::vector<VertexId> select_plant_sites(const CsrGraph& g, PlantSite site,
   sites.reserve(k);
   switch (site) {
     case PlantSite::kMaxDegree: {
-      if (k == 1) {
-        sites.push_back(g.max_degree_vertex());
-        break;
+      // Top-k by degree, ties by smaller id.  Each thread keeps the
+      // top-k of its static vertex range (a sorted candidate buffer with
+      // a reject-early check, so the common case is one comparison per
+      // vertex); the per-thread winners are then merged under the same
+      // total order.  Deterministic for every thread count, and O(n)
+      // instead of the sequential partial_sort's O(n log k).
+      const auto better = [&g](VertexId a, VertexId b) {
+        const auto da = g.degree(a);
+        const auto db = g.degree(b);
+        return da != db ? da > db : a < b;
+      };
+      const int threads = support::num_threads();
+      std::vector<std::vector<VertexId>> local(
+          static_cast<std::size_t>(threads));
+#pragma omp parallel num_threads(threads)
+      {
+        auto& mine =
+            local[static_cast<std::size_t>(support::thread_id())];
+#pragma omp for schedule(static) nowait
+        for (VertexId v = 0; v < n; ++v) {
+          if (mine.size() == k && !better(v, mine.back())) continue;
+          mine.insert(
+              std::upper_bound(mine.begin(), mine.end(), v, better), v);
+          if (mine.size() > k) mine.pop_back();
+        }
       }
-      // Top-k by degree, ties by smaller id.
-      std::vector<VertexId> order(n);
-      for (VertexId v = 0; v < n; ++v) order[v] = v;
-      std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                        [&](VertexId a, VertexId b) {
-                          const auto da = g.degree(a);
-                          const auto db = g.degree(b);
-                          return da != db ? da > db : a < b;
-                        });
-      sites.assign(order.begin(), order.begin() + k);
+      std::vector<VertexId> merged;
+      for (const auto& candidates : local) {
+        merged.insert(merged.end(), candidates.begin(), candidates.end());
+      }
+      std::sort(merged.begin(), merged.end(), better);
+      merged.resize(std::min<std::size_t>(merged.size(), k));
+      sites = std::move(merged);
       break;
     }
     case PlantSite::kRandom: {
+      // O(k) hashed membership — the previous linear scan over the sites
+      // vector made k-site selection quadratic in k.
+      std::unordered_set<VertexId> chosen;
+      chosen.reserve(k);
       std::uint64_t salt = 0xC0FFEE;
       while (sites.size() < k) {
         const auto v = static_cast<VertexId>(
             support::hash_mix(seed, salt++) % n);
-        if (std::find(sites.begin(), sites.end(), v) == sites.end()) {
-          sites.push_back(v);
-        }
+        if (chosen.insert(v).second) sites.push_back(v);
       }
       break;
     }
@@ -133,6 +138,11 @@ CcResult thrifty_impl(const CsrGraph& g, const CcOptions& options,
   frontier::LocalWorklists current(n, threads);
   frontier::LocalWorklists next(n, threads);
   partition::PartitionScheduler scheduler(g, options.partitions_per_thread);
+  // Frontier vertices above this degree are traversed edge-parallel
+  // during push so one hub cannot serialise an iteration.
+  const EdgeOffset hub_threshold =
+      frontier::hub_split_threshold(m, threads);
+  const auto degree_of = [&g](VertexId v) { return g.degree(v); };
 
   std::uint64_t active_vertices = 0;
   std::uint64_t active_edges = 0;
@@ -160,35 +170,34 @@ CcResult thrifty_impl(const CsrGraph& g, const CcOptions& options,
     const auto counters_before = counters.total();
     support::Timer iteration_timer;
 
-    std::uint64_t changes = 0;
-    std::uint64_t changed_edges = 0;
     for (std::size_t seed_index = 0; seed_index < seeds.size();
          ++seed_index) {
       const auto seed_label = static_cast<Label>(seed_index);
       const auto seed_neighbors = g.neighbors(seeds[seed_index]);
-#pragma omp parallel reduction(+ : changes, changed_edges)
+#pragma omp parallel
       {
         const int t = omp_get_thread_num();
 #pragma omp for schedule(static) nowait
         for (std::size_t i = 0; i < seed_neighbors.size(); ++i) {
+          if (i + support::kPrefetchDistance < seed_neighbors.size()) {
+            support::prefetch_write(
+                &labels[seed_neighbors[i + support::kPrefetchDistance]]);
+          }
           const VertexId u = seed_neighbors[i];
           counters.edge();
           counters.cas_attempt();
           if (atomic_min(labels[u], seed_label)) {
             counters.cas_success();
             counters.label_write();
-            if (next.push(t, u)) {
-              counters.frontier_push();
-              ++changes;
-              changed_edges += g.degree(u);
-            }
+            if (next.push(t, u, g.degree(u))) counters.frontier_push();
           }
         }
       }
     }
-    active_vertices = changes;
-    active_edges = changed_edges;
-    rec.label_changes = changes;
+    const frontier::LocalWorklists::Mass mass = next.mass();
+    active_vertices = mass.vertices;
+    active_edges = mass.edges;
+    rec.label_changes = mass.vertices;
     rec.time_ms = iteration_timer.elapsed_ms();
     if constexpr (Counters::kEnabled) {
       rec.edges_processed =
@@ -225,22 +234,42 @@ CcResult thrifty_impl(const CsrGraph& g, const CcOptions& options,
 
     if (sparse && have_frontier && full_pull_done) {
       // --- Push traversal over the detailed frontier, consumed with the
-      // paper's per-thread worklists + work stealing.
+      // paper's per-thread worklists + work stealing.  Hub adjacency
+      // lists are split into edge-parallel chunks; all other vertices
+      // take the one-thread-per-vertex fast path.
       rec.direction = Direction::kPush;
-      current.process_with_stealing([&](int t, VertexId v) {
-        counters.label_read();
-        const Label lv = load_label(labels[v]);
-        for (const VertexId u : g.neighbors(v)) {
-          counters.edge();
-          counters.cas_attempt();
-          if (atomic_min(labels[u], lv)) {
-            counters.cas_success();
-            counters.label_write();
-            if (next.push(t, u)) counters.frontier_push();
-          }
-        }
-      });
-      const FrontierMass mass = frontier_mass(next, g);
+      const auto push_label_along =
+          [&](int t, Label lv, std::span<const VertexId> nbrs) {
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+              if (i + support::kPrefetchDistance < nbrs.size()) {
+                support::prefetch_write(
+                    &labels[nbrs[i + support::kPrefetchDistance]]);
+              }
+              const VertexId u = nbrs[i];
+              counters.edge();
+              counters.cas_attempt();
+              if (atomic_min(labels[u], lv)) {
+                counters.cas_success();
+                counters.label_write();
+                if (next.push(t, u, g.degree(u))) {
+                  counters.frontier_push();
+                }
+              }
+            }
+          };
+      current.process_with_stealing_split(
+          hub_threshold, degree_of,
+          [&](int t, VertexId v) {
+            counters.label_read();
+            push_label_along(t, load_label(labels[v]), g.neighbors(v));
+          },
+          [&](int t, VertexId v, EdgeOffset begin, EdgeOffset end) {
+            counters.label_read();
+            push_label_along(
+                t, load_label(labels[v]),
+                g.neighbors(v).subspan(begin, end - begin));
+          });
+      const frontier::LocalWorklists::Mass mass = next.mass();
       changes = mass.vertices;
       changed_edges = mass.edges;
       current.clear();
@@ -269,7 +298,13 @@ CcResult thrifty_impl(const CsrGraph& g, const CcOptions& options,
                 continue;
               }
               Label new_label = lv;
-              for (const VertexId u : g.neighbors(v)) {
+              const auto nbrs = g.neighbors(v);
+              for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                if (i + support::kPrefetchDistance < nbrs.size()) {
+                  support::prefetch_read(
+                      &labels[nbrs[i + support::kPrefetchDistance]]);
+                }
+                const VertexId u = nbrs[i];
                 counters.edge();
                 counters.label_read();
                 const Label lu = load_label(labels[u]);
@@ -287,7 +322,9 @@ CcResult thrifty_impl(const CsrGraph& g, const CcOptions& options,
                 ++local_changes;
                 local_edges += g.degree(v);
                 if (build_frontier) {
-                  if (next.push(t, v)) counters.frontier_push();
+                  if (next.push(t, v, g.degree(v))) {
+                    counters.frontier_push();
+                  }
                 }
               }
             }

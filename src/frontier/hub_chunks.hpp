@@ -1,0 +1,114 @@
+// Edge-parallel splitting of high-degree ("hub") frontier vertices.
+//
+// A push traversal that hands each frontier vertex to one thread
+// serialises on hubs: a single vertex owning a large fraction of the
+// edges (the defining shape of skewed-degree graphs) pins one thread
+// while the rest idle.  HubChunks is the shared scratch for the standard
+// fix (as in GBBS/ConnectIt's edge-balanced traversals): vertices whose
+// degree exceeds a threshold are set aside during the vertex-parallel
+// sweep, then their adjacency lists are re-traversed cooperatively in
+// fixed-size edge chunks claimed off a shared cursor.
+//
+// Usage, inside one parallel region:
+//   phase A (parallel)  — collect(thread, v) for every hub encountered;
+//   barrier, then       — finalize(degree_of) on a single thread;
+//   phase B (parallel)  — drain(thread, degree_of, body) on every thread.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/env.hpp"
+
+namespace thrifty::frontier {
+
+class HubChunks {
+ public:
+  /// Edges per chunk: large enough that the shared chunk cursor is
+  /// touched rarely, small enough that even a single split hub spreads
+  /// across every thread.
+  static constexpr graph::EdgeOffset kChunkEdges = 2048;
+
+  explicit HubChunks(int num_threads)
+      : per_thread_(static_cast<std::size_t>(num_threads)) {}
+
+  /// Phase A: stash a hub met by `thread` (thread-private, no sharing).
+  void collect(int thread, graph::VertexId v) {
+    per_thread_[static_cast<std::size_t>(thread)].push_back(v);
+  }
+
+  /// Flattens the per-thread stashes and builds the chunk index.  Must
+  /// run on exactly one thread after all collect() calls (i.e. behind a
+  /// barrier); `#pragma omp single` is the natural home.
+  template <typename DegreeFn>
+  void finalize(DegreeFn&& degree_of) {
+    for (auto& list : per_thread_) {
+      hubs_.insert(hubs_.end(), list.begin(), list.end());
+      list.clear();
+    }
+    chunk_prefix_.resize(hubs_.size() + 1);
+    std::size_t running = 0;
+    for (std::size_t h = 0; h < hubs_.size(); ++h) {
+      chunk_prefix_[h] = running;
+      const graph::EdgeOffset d = degree_of(hubs_[h]);
+      running += static_cast<std::size_t>((d + kChunkEdges - 1) /
+                                          kChunkEdges);
+    }
+    chunk_prefix_[hubs_.size()] = running;
+    cursor_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t num_hubs() const { return hubs_.size(); }
+  [[nodiscard]] bool empty() const { return hubs_.empty(); }
+
+  /// Phase B: every thread claims chunks off the shared cursor until the
+  /// hubs are exhausted.  `body(thread, hub, edge_begin, edge_end)`
+  /// receives a half-open range indexing into the hub's adjacency list.
+  template <typename DegreeFn, typename Body>
+  void drain(int thread, DegreeFn&& degree_of, Body&& body) {
+    const std::size_t total =
+        chunk_prefix_.empty() ? 0 : chunk_prefix_.back();
+    while (true) {
+      const std::size_t c = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= total) break;
+      const auto it = std::upper_bound(chunk_prefix_.begin(),
+                                       chunk_prefix_.end(), c);
+      const auto h =
+          static_cast<std::size_t>(it - chunk_prefix_.begin()) - 1;
+      const graph::VertexId v = hubs_[h];
+      const auto begin =
+          static_cast<graph::EdgeOffset>(c - chunk_prefix_[h]) * kChunkEdges;
+      const graph::EdgeOffset end =
+          std::min<graph::EdgeOffset>(begin + kChunkEdges, degree_of(v));
+      body(thread, v, begin, end);
+    }
+  }
+
+ private:
+  std::vector<std::vector<graph::VertexId>> per_thread_;
+  std::vector<graph::VertexId> hubs_;
+  /// chunk_prefix_[h] = global id of hub h's first chunk; back() = total.
+  std::vector<std::size_t> chunk_prefix_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+/// Degree above which a frontier vertex is traversed edge-parallel.
+/// Default: an even per-thread share of the directed edges (a vertex
+/// bigger than that cannot be load-balanced at vertex granularity), with
+/// a floor that keeps tiny graphs on the cheap unsplit path.  Overridden
+/// by the THRIFTY_HUB_SPLIT_DEGREE environment variable.
+[[nodiscard]] inline graph::EdgeOffset hub_split_threshold(
+    graph::EdgeOffset num_directed_edges, int num_threads) {
+  const std::int64_t env =
+      support::env_int("THRIFTY_HUB_SPLIT_DEGREE", 0);
+  if (env > 0) return static_cast<graph::EdgeOffset>(env);
+  return std::max<graph::EdgeOffset>(
+      num_directed_edges / static_cast<graph::EdgeOffset>(
+                               std::max(num_threads, 1)),
+      64);
+}
+
+}  // namespace thrifty::frontier

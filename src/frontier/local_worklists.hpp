@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "frontier/hub_chunks.hpp"
 #include "graph/types.hpp"
 #include "support/assert.hpp"
 
@@ -23,9 +24,19 @@ namespace thrifty::frontier {
 
 class LocalWorklists {
  public:
+  /// Total vertices and incident directed edges of the frontier — the
+  /// |F.V| and |F.E| the next direction decision needs.  Accumulated
+  /// inline as pushes happen, so no post-iteration rescan of the lists
+  /// is required.
+  struct Mass {
+    std::uint64_t vertices = 0;
+    std::uint64_t edges = 0;
+  };
+
   LocalWorklists(graph::VertexId num_vertices, int num_threads)
       : marks_(num_vertices),
-        lists_(static_cast<std::size_t>(num_threads)) {}
+        lists_(static_cast<std::size_t>(num_threads)),
+        mass_(static_cast<std::size_t>(num_threads)) {}
 
   [[nodiscard]] int num_threads() const {
     return static_cast<int>(lists_.size());
@@ -44,7 +55,35 @@ class LocalWorklists {
     if (marks_[v].load(std::memory_order_relaxed) != 0) return false;
     marks_[v].store(1, std::memory_order_relaxed);
     lists_[static_cast<std::size_t>(thread)].push_back(v);
+    auto& mass = mass_[static_cast<std::size_t>(thread)];
+    ++mass.vertices;
     return true;
+  }
+
+  /// push() that also banks `degree` into the inserting thread's frontier
+  /// mass, so the (|F.V|, |F.E|) of the built frontier is available from
+  /// mass() without rescanning the lists.
+  bool push(int thread, graph::VertexId v, graph::EdgeOffset degree) {
+    THRIFTY_EXPECTS(v < marks_.size());
+    if (marks_[v].load(std::memory_order_relaxed) != 0) return false;
+    marks_[v].store(1, std::memory_order_relaxed);
+    lists_[static_cast<std::size_t>(thread)].push_back(v);
+    auto& mass = mass_[static_cast<std::size_t>(thread)];
+    ++mass.vertices;
+    mass.edges += degree;
+    return true;
+  }
+
+  /// Frontier mass accumulated by all push() calls since the last
+  /// clear().  Counts benign duplicates exactly as a rescan of the lists
+  /// would (each enqueued copy contributes once).
+  [[nodiscard]] Mass mass() const {
+    Mass total;
+    for (const auto& m : mass_) {
+      total.vertices += m.vertices;
+      total.edges += m.edges;
+    }
+    return total;
   }
 
   [[nodiscard]] std::uint64_t total_size() const {
@@ -69,11 +108,13 @@ class LocalWorklists {
       }
       list.clear();
     }
+    for (auto& m : mass_) m = ThreadMass{};
   }
 
   void swap(LocalWorklists& other) noexcept {
     marks_.swap(other.marks_);
     lists_.swap(other.lists_);
+    mass_.swap(other.mass_);
   }
 
   /// Consumes all worklists with `body(worker_thread, vertex)` inside a
@@ -113,6 +154,56 @@ class LocalWorklists {
     }
   }
 
+  /// Hub-splitting variant of process_with_stealing(): vertices whose
+  /// degree exceeds `hub_threshold` are not handed to `vertex_body`;
+  /// instead their adjacency lists are re-traversed edge-parallel after
+  /// the vertex sweep, in HubChunks::kChunkEdges-sized chunks claimed by
+  /// all threads, via `chunk_body(thread, hub, edge_begin, edge_end)`.
+  /// One hub can no longer serialise an iteration.  Like its sibling it
+  /// does not modify the lists; call clear() afterwards to recycle.
+  template <typename DegreeFn, typename VertexBody, typename ChunkBody>
+  void process_with_stealing_split(graph::EdgeOffset hub_threshold,
+                                   DegreeFn&& degree_of,
+                                   VertexBody&& vertex_body,
+                                   ChunkBody&& chunk_body) const {
+    const int threads = num_threads();
+    std::vector<std::atomic<std::size_t>> cursors(
+        static_cast<std::size_t>(threads));
+    for (auto& c : cursors) c.store(0, std::memory_order_relaxed);
+    HubChunks hubs(threads);
+    constexpr std::size_t kChunk = 64;
+#pragma omp parallel num_threads(threads)
+    {
+      const int self = support_thread_id();
+      for (int step = 0; step < threads; ++step) {
+        const int victim =
+            step == 0 ? self : (self + threads - step) % threads;
+        const auto& victim_list =
+            lists_[static_cast<std::size_t>(victim)];
+        auto& cursor = cursors[static_cast<std::size_t>(victim)];
+        while (true) {
+          const std::size_t begin =
+              cursor.fetch_add(kChunk, std::memory_order_relaxed);
+          if (begin >= victim_list.size()) break;
+          const std::size_t end =
+              std::min(begin + kChunk, victim_list.size());
+          for (std::size_t i = begin; i < end; ++i) {
+            const graph::VertexId v = victim_list[i];
+            if (degree_of(v) > hub_threshold) {
+              hubs.collect(self, v);
+            } else {
+              vertex_body(self, v);
+            }
+          }
+        }
+      }
+#pragma omp barrier
+#pragma omp single
+      hubs.finalize(degree_of);
+      hubs.drain(self, degree_of, chunk_body);
+    }
+  }
+
   /// Duplicate-suppression mark of a vertex; exposed for tests of the
   /// benign-race semantics.
   [[nodiscard]] bool marked(graph::VertexId v) const {
@@ -123,8 +214,13 @@ class LocalWorklists {
  private:
   static int support_thread_id();
 
+  /// Padded per-thread mass slots: pushes bank (vertices, edges) totals
+  /// without sharing cache lines between inserting threads.
+  struct alignas(64) ThreadMass : Mass {};
+
   std::vector<std::atomic<std::uint8_t>> marks_;
   std::vector<std::vector<graph::VertexId>> lists_;
+  std::vector<ThreadMass> mass_;
 };
 
 }  // namespace thrifty::frontier

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstddef>
 #include <span>
+#include <utility>
 
 #include "graph/types.hpp"
 #include "support/assert.hpp"
@@ -48,6 +49,19 @@ class SlidingQueue {
   void reset() {
     begin_ = end_ = 0;
     tail_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Exchanges contents with `other` (storage, window, tail).  Lets two
+  /// queues ping-pong between "current window" and "next frontier" roles
+  /// without copying the window into a separate vector each iteration.
+  void swap(SlidingQueue& other) noexcept {
+    storage_.swap(other.storage_);
+    std::swap(begin_, other.begin_);
+    std::swap(end_, other.end_);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    tail_.store(other.tail_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    other.tail_.store(t, std::memory_order_relaxed);
   }
 
   /// Per-thread buffer that flushes to the shared queue in blocks,

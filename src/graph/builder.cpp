@@ -1,7 +1,6 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <numeric>
 #include <utility>
 
@@ -15,58 +14,93 @@ namespace {
 
 using support::UninitVector;
 
-/// Exclusive prefix sum of per-vertex degree counts, producing CSR offsets.
-UninitVector<EdgeOffset> exclusive_scan_degrees(
-    const std::vector<std::atomic<EdgeOffset>>& degrees) {
-  UninitVector<EdgeOffset> offsets(degrees.size() + 1);
-  EdgeOffset running = 0;
-  for (std::size_t v = 0; v < degrees.size(); ++v) {
-    offsets[v] = running;
-    running += degrees[v].load(std::memory_order_relaxed);
-  }
-  offsets[degrees.size()] = running;
-  return offsets;
-}
-
 }  // namespace
 
 BuildResult build_csr(const EdgeList& edges, VertexId num_vertices,
                       const BuildOptions& options) {
   const std::size_t m = edges.size();
+  const int threads = support::num_threads();
+  const auto blocks = static_cast<std::size_t>(threads);
+  // Contiguous per-thread edge ranges: thread t owns [block_begin(t),
+  // block_begin(t+1)).  Each thread counts and later scatters exactly its
+  // own range, so all counter updates below are thread-private.
+  const std::size_t block_size = (m + blocks - 1) / blocks;
+  const auto block_begin = [&](std::size_t t) {
+    return std::min(t * block_size, m);
+  };
 
-  // Pass 1: count directed degrees (both endpoints of every kept edge).
-  std::vector<std::atomic<EdgeOffset>> degrees(num_vertices);
-  support::parallel_for(num_vertices, [&](VertexId v) {
-    degrees[v].store(0, std::memory_order_relaxed);
-  });
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    const Edge e = edges[i];
-    THRIFTY_EXPECTS(e.u < num_vertices && e.v < num_vertices);
-    if (options.remove_self_loops && e.u == e.v) continue;
-    degrees[e.u].fetch_add(1, std::memory_order_relaxed);
-    degrees[e.v].fetch_add(1, std::memory_order_relaxed);
+  // Pass 1: contention-free degree counting — a private histogram per
+  // edge block (counts[t * n + v]) instead of shared atomic counters that
+  // serialise on hub vertices of skewed graphs.  Worksharing over block
+  // ids (not raw thread ids) keeps every block counted even if the
+  // runtime delivers a smaller team than requested.
+  UninitVector<EdgeOffset> counts(blocks * num_vertices);
+#pragma omp parallel num_threads(threads)
+  {
+#pragma omp for schedule(static, 1)
+    for (std::size_t t = 0; t < blocks; ++t) {
+      EdgeOffset* local = counts.data() + t * num_vertices;
+      std::fill(local, local + num_vertices, EdgeOffset{0});
+      const std::size_t begin = block_begin(t);
+      const std::size_t end = block_begin(t + 1);
+      for (std::size_t i = begin; i < end; ++i) {
+        const Edge e = edges[i];
+        THRIFTY_EXPECTS(e.u < num_vertices && e.v < num_vertices);
+        if (options.remove_self_loops && e.u == e.v) continue;
+        ++local[e.u];
+        ++local[e.v];
+      }
+    }
   }
 
-  UninitVector<EdgeOffset> offsets = exclusive_scan_degrees(degrees);
+  // 2-D reduction over threads into per-vertex totals, then a parallel
+  // exclusive scan to produce the CSR offsets.
+  UninitVector<EdgeOffset> degree_total(num_vertices);
+  support::parallel_for(num_vertices, [&](VertexId v) {
+    EdgeOffset total = 0;
+    for (std::size_t t = 0; t < blocks; ++t) {
+      total += counts[t * num_vertices + v];
+    }
+    degree_total[v] = total;
+  });
+  UninitVector<EdgeOffset> offsets(static_cast<std::size_t>(num_vertices) +
+                                   1);
+  support::parallel_exclusive_scan(degree_total.data(), num_vertices,
+                                   offsets.data());
   UninitVector<VertexId> neighbors(offsets.back());
 
-  // Pass 2: scatter neighbours, reusing `degrees` as per-vertex fill
-  // cursors (reset to 0 first).
+  // Turn the per-thread counts into per-(thread, vertex) write cursors:
+  // thread t's first slot for vertex v sits after every lower-numbered
+  // thread's entries for v.
   support::parallel_for(num_vertices, [&](VertexId v) {
-    degrees[v].store(0, std::memory_order_relaxed);
+    EdgeOffset running = offsets[v];
+    for (std::size_t t = 0; t < blocks; ++t) {
+      const EdgeOffset c = counts[t * num_vertices + v];
+      counts[t * num_vertices + v] = running;
+      running += c;
+    }
   });
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    const Edge e = edges[i];
-    if (options.remove_self_loops && e.u == e.v) continue;
-    const EdgeOffset slot_u =
-        offsets[e.u] + degrees[e.u].fetch_add(1, std::memory_order_relaxed);
-    neighbors[slot_u] = e.v;
-    const EdgeOffset slot_v =
-        offsets[e.v] + degrees[e.v].fetch_add(1, std::memory_order_relaxed);
-    neighbors[slot_v] = e.u;
+
+  // Pass 2: scatter.  Every (block, vertex) cursor is private to the
+  // thread scattering that block — zero atomic read-modify-write
+  // operations.
+#pragma omp parallel num_threads(threads)
+  {
+#pragma omp for schedule(static, 1)
+    for (std::size_t t = 0; t < blocks; ++t) {
+      EdgeOffset* cursor = counts.data() + t * num_vertices;
+      const std::size_t begin = block_begin(t);
+      const std::size_t end = block_begin(t + 1);
+      for (std::size_t i = begin; i < end; ++i) {
+        const Edge e = edges[i];
+        if (options.remove_self_loops && e.u == e.v) continue;
+        neighbors[cursor[e.u]++] = e.v;
+        neighbors[cursor[e.v]++] = e.u;
+      }
+    }
   }
+  counts.clear();
+  counts.shrink_to_fit();
 
   // Pass 3: sort adjacency lists; optionally deduplicate in place, tracking
   // the deduplicated degree per vertex.

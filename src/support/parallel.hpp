@@ -5,9 +5,11 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 namespace thrifty::support {
 
@@ -47,6 +49,50 @@ template <typename Index, typename Body>
     total += static_cast<std::uint64_t>(body(i));
   }
   return total;
+}
+
+/// Exclusive prefix sum of `values[0, n)` written to `out[0, n]`:
+/// `out[i] = sum(values[0, i))` and `out[n]` holds the grand total (the
+/// CSR-offsets convention).  Blocked two-pass scan: per-thread block sums,
+/// a serial scan over the (few) block totals, then per-thread local scans.
+/// `values` and `out` may not alias.
+template <typename Value, typename Sum>
+void parallel_exclusive_scan(const Value* values, std::size_t n, Sum* out) {
+  const auto blocks = static_cast<std::size_t>(num_threads());
+  const std::size_t block_size = (n + blocks - 1) / blocks;
+  std::vector<Sum> block_sum(blocks + 1, Sum{0});
+  const auto block_range = [&](std::size_t b) {
+    const std::size_t begin = std::min(b * block_size, n);
+    return std::pair{begin, std::min(begin + block_size, n)};
+  };
+#pragma omp parallel
+  {
+#pragma omp for schedule(static, 1)
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const auto [begin, end] = block_range(b);
+      Sum local = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        local += static_cast<Sum>(values[i]);
+      }
+      block_sum[b + 1] = local;
+    }
+#pragma omp single
+    {
+      for (std::size_t k = 1; k <= blocks; ++k) {
+        block_sum[k] += block_sum[k - 1];
+      }
+    }
+#pragma omp for schedule(static, 1)
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const auto [begin, end] = block_range(b);
+      Sum running = block_sum[b];
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = running;
+        running += static_cast<Sum>(values[i]);
+      }
+    }
+  }
+  out[n] = block_sum[blocks];
 }
 
 /// Runs `body(thread_id, num_threads)` once on every thread of a parallel

@@ -4,6 +4,8 @@
 // the three algorithms.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/dolp.hpp"
 #include "core/thrifty.hpp"
 #include "core/verify.hpp"
@@ -12,6 +14,7 @@
 #include "gen/simple.hpp"
 #include "graph/builder.hpp"
 #include "instrument/run_stats.hpp"
+#include "support/parallel.hpp"
 
 namespace thrifty::core {
 namespace {
@@ -161,6 +164,43 @@ TEST(Dolp, TimeIsRecordedPerIteration) {
     sum += it.time_ms;
   }
   EXPECT_LE(sum, result.stats.total_ms + 1.0);
+}
+
+TEST(DolpHubSplit, CorrectWithForcedSplittingAcrossThreadCounts) {
+  // A tiny THRIFTY_HUB_SPLIT_DEGREE forces every fat frontier vertex in
+  // the push iterations through the HubChunks edge-parallel path; the
+  // result must stay the exact component partition at every width.
+  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "8", 1);
+  const CsrGraph g = skewed_graph(12, 8);
+  const CcResult reference = dolp_cc(g);
+  ASSERT_TRUE(verify_labels(g, reference.label_span()).valid);
+  for (const int threads : {1, 2, 4}) {
+    support::ThreadCountGuard guard(threads);
+    for (const auto* which : {"dolp", "unified"}) {
+      const CcResult result = which[0] == 'd'
+                                  ? dolp_cc(g)
+                                  : dolp_unified_cc(g);
+      ASSERT_TRUE(verify_labels(g, result.label_span()).valid)
+          << which << " threads=" << threads;
+      EXPECT_TRUE(same_partition(result.labels, reference.labels))
+          << which << " threads=" << threads;
+    }
+  }
+  ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
+}
+
+TEST(DolpHubSplit, StarPushIterationSplitsWithoutLosingLeaves) {
+  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "16", 1);
+  const CsrGraph star =
+      graph::build_csr(gen::star_edges(4096, 2048)).graph;
+  for (const int threads : {1, 2, 4}) {
+    support::ThreadCountGuard guard(threads);
+    const CcResult result = dolp_cc(star);
+    ASSERT_TRUE(verify_labels(star, result.label_span()).valid);
+    EXPECT_EQ(largest_component(result.label_span()).size,
+              star.num_vertices());
+  }
+  ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
 }
 
 }  // namespace

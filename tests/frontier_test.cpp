@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "frontier/bitmap.hpp"
 #include "frontier/density.hpp"
+#include "frontier/hub_chunks.hpp"
 #include "frontier/local_worklists.hpp"
 #include "frontier/sliding_queue.hpp"
 #include "support/parallel.hpp"
@@ -195,6 +198,147 @@ TEST(LocalWorklists, ConcurrentPushesLandInOwnLists) {
   // Every vertex inserted exactly once (vertices are partitioned across
   // threads, so no benign duplicates are possible here).
   EXPECT_EQ(lists.total_size(), n);
+}
+
+TEST(SlidingQueue, SwapExchangesWindowAndTail) {
+  SlidingQueue a(10);
+  SlidingQueue b(10);
+  a.push_back(5);
+  a.slide_window();
+  b.push_back(7);  // appended but not yet in b's window
+  a.swap(b);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.window()[0], 5u);
+  EXPECT_TRUE(a.empty());
+  a.slide_window();  // the pending append travelled with the swap
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.window()[0], 7u);
+}
+
+TEST(LocalWorklists, MassAccumulatesVerticesAndEdges) {
+  LocalWorklists lists(100, 2);
+  EXPECT_TRUE(lists.push(0, 1, 5));
+  EXPECT_TRUE(lists.push(1, 2, 7));
+  EXPECT_FALSE(lists.push(0, 1, 5));  // duplicate: no mass contribution
+  EXPECT_TRUE(lists.push(1, 3));      // legacy push: vertex only
+  const LocalWorklists::Mass mass = lists.mass();
+  EXPECT_EQ(mass.vertices, 3u);
+  EXPECT_EQ(mass.edges, 12u);
+  lists.clear();
+  EXPECT_EQ(lists.mass().vertices, 0u);
+  EXPECT_EQ(lists.mass().edges, 0u);
+}
+
+TEST(LocalWorklists, SwapExchangesMass) {
+  LocalWorklists a(10, 1);
+  LocalWorklists b(10, 1);
+  a.push(0, 3, 9);
+  a.swap(b);
+  EXPECT_EQ(a.mass().edges, 0u);
+  EXPECT_EQ(b.mass().edges, 9u);
+  EXPECT_EQ(b.mass().vertices, 1u);
+}
+
+TEST(HubChunks, DrainCoversEveryEdgeOfEveryHubExactlyOnce) {
+  using graph::EdgeOffset;
+  HubChunks hubs(2);
+  hubs.collect(0, 0);  // 5000 edges -> 3 chunks
+  hubs.collect(1, 1);  // exactly one chunk
+  hubs.collect(1, 2);  // 1 edge -> still one chunk
+  const auto degree_of = [](VertexId v) -> EdgeOffset {
+    if (v == 0) return 5000;
+    if (v == 1) return HubChunks::kChunkEdges;
+    return 1;
+  };
+  hubs.finalize(degree_of);
+  EXPECT_EQ(hubs.num_hubs(), 3u);
+  std::vector<std::vector<std::pair<EdgeOffset, EdgeOffset>>> ranges(3);
+  hubs.drain(0, degree_of,
+             [&](int, VertexId v, EdgeOffset begin, EdgeOffset end) {
+               ranges[v].push_back({begin, end});
+             });
+  for (VertexId v = 0; v < 3; ++v) {
+    auto& r = ranges[v];
+    std::sort(r.begin(), r.end());
+    ASSERT_FALSE(r.empty()) << "hub " << v << " never drained";
+    EXPECT_EQ(r.front().first, 0u);
+    EXPECT_EQ(r.back().second, degree_of(v));
+    for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+      EXPECT_EQ(r[i].second, r[i + 1].first) << "gap/overlap at hub " << v;
+    }
+  }
+}
+
+TEST(HubChunks, DrainIsExhaustedAfterOnePass) {
+  HubChunks hubs(1);
+  hubs.collect(0, 0);
+  const auto degree_of = [](VertexId) -> graph::EdgeOffset { return 10; };
+  hubs.finalize(degree_of);
+  int calls = 0;
+  hubs.drain(0, degree_of, [&](int, VertexId, auto, auto) { ++calls; });
+  EXPECT_EQ(calls, 1);
+  hubs.drain(0, degree_of, [&](int, VertexId, auto, auto) { ++calls; });
+  EXPECT_EQ(calls, 1);  // cursor stays exhausted
+}
+
+TEST(LocalWorklists, ProcessWithStealingSplitRoutesHubsToChunks) {
+  const int threads = support::num_threads();
+  const VertexId n = 1000;
+  LocalWorklists lists(n, threads);
+  std::vector<graph::EdgeOffset> degree(n, 10);
+  degree[7] = 9000;   // > threshold: split into ceil(9000/2048) chunks
+  degree[400] = 100;  // on the fat side but below threshold
+  for (VertexId v = 0; v < n; ++v) lists.push(0, v, degree[v]);
+  const auto degree_of = [&degree](VertexId v) { return degree[v]; };
+  std::vector<std::atomic<int>> vertex_visits(n);
+  std::vector<std::atomic<graph::EdgeOffset>> covered(n);
+  lists.process_with_stealing_split(
+      128, degree_of,
+      [&](int, VertexId v) { vertex_visits[v].fetch_add(1); },
+      [&](int, VertexId v, graph::EdgeOffset begin,
+          graph::EdgeOffset end) {
+        covered[v].fetch_add(end - begin);
+      });
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == 7) {
+      EXPECT_EQ(vertex_visits[v].load(), 0);  // hubs bypass vertex body
+      EXPECT_EQ(covered[v].load(), degree[v]);
+    } else {
+      EXPECT_EQ(vertex_visits[v].load(), 1) << "vertex " << v;
+      EXPECT_EQ(covered[v].load(), 0u);
+    }
+  }
+}
+
+TEST(LocalWorklists, ProcessWithStealingSplitNoHubsMatchesPlain) {
+  const int threads = support::num_threads();
+  LocalWorklists lists(64, threads);
+  for (VertexId v = 0; v < 64; ++v) lists.push(0, v, 3);
+  std::atomic<int> vertex_calls{0};
+  std::atomic<int> chunk_calls{0};
+  lists.process_with_stealing_split(
+      100, [](VertexId) -> graph::EdgeOffset { return 3; },
+      [&](int, VertexId) { vertex_calls.fetch_add(1); },
+      [&](int, VertexId, graph::EdgeOffset, graph::EdgeOffset) {
+        chunk_calls.fetch_add(1);
+      });
+  EXPECT_EQ(vertex_calls.load(), 64);
+  EXPECT_EQ(chunk_calls.load(), 0);
+}
+
+TEST(HubSplitThreshold, DefaultIsPerThreadShareWithFloor) {
+  ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
+  EXPECT_EQ(hub_split_threshold(1000, 4), 250u);
+  EXPECT_EQ(hub_split_threshold(100, 4), 64u);  // floor for tiny graphs
+  EXPECT_EQ(hub_split_threshold(1000, 0), 1000u);  // guarded division
+}
+
+TEST(HubSplitThreshold, EnvironmentOverrideWins) {
+  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "7", 1);
+  EXPECT_EQ(hub_split_threshold(1'000'000, 4), 7u);
+  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "0", 1);  // 0 means "use default"
+  EXPECT_EQ(hub_split_threshold(1000, 4), 250u);
+  ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
 }
 
 TEST(Density, FormulaMatchesPaper) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <vector>
 
 #include "core/dolp.hpp"
 #include "core/thrifty.hpp"
@@ -14,6 +16,7 @@
 #include "gen/simple.hpp"
 #include "graph/builder.hpp"
 #include "instrument/run_stats.hpp"
+#include "support/parallel.hpp"
 
 namespace thrifty::core {
 namespace {
@@ -248,6 +251,65 @@ TEST(Thrifty, LabelsAreZeroOrVertexPlusOneValues) {
   const CcResult result = thrifty_cc(g);
   for (const Label l : result.label_span()) {
     EXPECT_LE(l, g.num_vertices());
+  }
+}
+
+// RAII guard forcing a tiny hub-split threshold so even the test graphs'
+// modest hubs take the edge-parallel chunk path.
+class HubSplitGuard {
+ public:
+  explicit HubSplitGuard(const char* value) {
+    ::setenv("THRIFTY_HUB_SPLIT_DEGREE", value, 1);
+  }
+  ~HubSplitGuard() { ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE"); }
+};
+
+TEST(ThriftyHubSplit, StarGraphCorrectAcrossThreadCounts) {
+  const HubSplitGuard env("16");
+  // Star: the centre's 4095-edge adjacency is forced through HubChunks.
+  const CsrGraph star = graph::build_csr(gen::star_edges(4096, 9)).graph;
+  for (const int threads : {1, 2, 4}) {
+    support::ThreadCountGuard guard(threads);
+    const CcResult result = thrifty_cc(star);
+    ASSERT_TRUE(verify_labels(star, result.label_span()).valid)
+        << "threads=" << threads;
+    EXPECT_EQ(largest_component(result.label_span()).size,
+              star.num_vertices());
+  }
+}
+
+TEST(ThriftyHubSplit, SplitAndUnsplitRunsProducePartitionEquivalentLabels) {
+  const CsrGraph g = skewed_graph(12, 8);
+  const CcResult unsplit = thrifty_cc(g);
+  const HubSplitGuard env("8");
+  for (const int threads : {1, 2, 4}) {
+    support::ThreadCountGuard guard(threads);
+    const CcResult split = thrifty_cc(g);
+    ASSERT_TRUE(verify_labels(g, split.label_span()).valid);
+    // Labels are identical, not merely partition-equivalent: the planted
+    // zero and the v+k fallback labels are order-independent minima.
+    EXPECT_EQ(split.labels.size(), unsplit.labels.size());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(split.labels[v], unsplit.labels[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(ThriftyHubSplit, DisconnectedHubsStayInTheirComponents) {
+  const HubSplitGuard env("16");
+  // Two stars that must not merge, plus a path.
+  const std::vector<graph::EdgeList> parts{gen::star_edges(512),
+                                           gen::star_edges(512),
+                                           gen::path_edges(64)};
+  const std::vector<VertexId> sizes{512, 512, 64};
+  const CsrGraph g =
+      graph::build_csr(gen::disjoint_union(parts, sizes), 1088).graph;
+  for (const int threads : {1, 2, 4}) {
+    support::ThreadCountGuard guard(threads);
+    const CcResult result = thrifty_cc(g);
+    ASSERT_TRUE(verify_labels(g, result.label_span()).valid);
+    EXPECT_EQ(component_sizes(result.labels),
+              (std::vector<std::uint64_t>{512, 512, 64}));
   }
 }
 
