@@ -3,8 +3,12 @@
 #include <array>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <istream>
+#include <limits>
+#include <ostream>
 
+#include "graph/validate.hpp"
+#include "support/math.hpp"
 #include "support/uninit_vector.hpp"
 
 namespace thrifty::io {
@@ -13,53 +17,171 @@ namespace {
 
 constexpr std::array<char, 8> kMagic = {'T', 'H', 'R', 'F',
                                         'T', 'Y', 'G', '1'};
+constexpr std::uint64_t kHeaderBytes = 24;  // magic + n + m
 
-void write_raw(std::ofstream& out, const void* data, std::size_t bytes) {
+void write_raw(std::ostream& out, const void* data, std::size_t bytes) {
   out.write(static_cast<const char*>(data),
             static_cast<std::streamsize>(bytes));
-  if (!out) throw std::runtime_error("binary graph: write failed");
+  if (!out) throw IoError(IoErrorKind::kWriteFailed, "binary graph write");
 }
 
-void read_raw(std::ifstream& in, void* data, std::size_t bytes) {
+void read_raw(std::istream& in, void* data, std::size_t bytes,
+              const std::string& context, std::uint64_t at) {
   in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
   if (in.gcount() != static_cast<std::streamsize>(bytes)) {
-    throw std::runtime_error("binary graph: truncated file");
+    throw IoError(IoErrorKind::kTruncated, "unexpected end of snapshot",
+                  context, 0, at + static_cast<std::uint64_t>(in.gcount()));
+  }
+}
+
+/// Total stream length in bytes, or nullopt for non-seekable streams.
+std::optional<std::uint64_t> stream_size(std::istream& in) {
+  const std::istream::pos_type current = in.tellg();
+  if (current == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(current);
+  if (end == std::istream::pos_type(-1)) return std::nullopt;
+  return static_cast<std::uint64_t>(end);
+}
+
+/// Byte offset of the first invariant violation a validation report
+/// names, for the IoError context.
+std::uint64_t violation_byte_offset(const graph::ValidationReport& report,
+                                    std::uint64_t n) {
+  using graph::CsrViolation;
+  const std::uint64_t offsets_base = kHeaderBytes;
+  const std::uint64_t neighbors_base = kHeaderBytes + (n + 1) * 8;
+  switch (report.first_violation) {
+    case CsrViolation::kFirstOffsetNonZero:
+      return offsets_base;
+    case CsrViolation::kLastOffsetMismatch:
+      return offsets_base + n * 8;
+    case CsrViolation::kNonMonotoneOffsets:
+      return offsets_base +
+             static_cast<std::uint64_t>(report.first_vertex) * 8;
+    case CsrViolation::kNeighborOutOfRange:
+      return neighbors_base + report.first_edge_index * 4;
+    default:
+      return IoError::kNoPosition;
   }
 }
 
 }  // namespace
 
-void write_csr_file(const std::string& path, const graph::CsrGraph& graph) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+void write_csr(std::ostream& out, const graph::CsrGraph& graph) {
   write_raw(out, kMagic.data(), kMagic.size());
   const std::uint64_t n = graph.num_vertices();
   const std::uint64_t m = graph.num_directed_edges();
   write_raw(out, &n, sizeof n);
   write_raw(out, &m, sizeof m);
-  write_raw(out, graph.offsets().data(),
-            graph.offsets().size_bytes());
+  write_raw(out, graph.offsets().data(), graph.offsets().size_bytes());
   write_raw(out, graph.neighbor_array().data(),
             graph.neighbor_array().size_bytes());
 }
 
-graph::CsrGraph read_csr_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+void write_csr_file(const std::string& path, const graph::CsrGraph& graph) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open for write", path);
+  }
+  try {
+    write_csr(out, graph);
+  } catch (const IoError& e) {
+    throw IoError(e.kind(), "binary graph write", path);
+  }
+}
+
+graph::CsrGraph read_csr(std::istream& in, const std::string& context) {
+  const std::optional<std::uint64_t> total_bytes = stream_size(in);
+
   std::array<char, 8> magic{};
-  read_raw(in, magic.data(), magic.size());
+  read_raw(in, magic.data(), magic.size(), context, 0);
   if (magic != kMagic) {
-    throw std::runtime_error("binary graph: bad magic in " + path);
+    throw IoError(IoErrorKind::kBadMagic,
+                  "not a THRFTYG1 snapshot", context, 0, 0);
   }
   std::uint64_t n = 0;
   std::uint64_t m = 0;
-  read_raw(in, &n, sizeof n);
-  read_raw(in, &m, sizeof m);
-  support::UninitVector<graph::EdgeOffset> offsets(n + 1);
-  support::UninitVector<graph::VertexId> neighbors(m);
-  read_raw(in, offsets.data(), offsets.size() * sizeof(graph::EdgeOffset));
-  read_raw(in, neighbors.data(), neighbors.size() * sizeof(graph::VertexId));
+  read_raw(in, &n, sizeof n, context, 8);
+  read_raw(in, &m, sizeof m, context, 16);
+
+  // Header sanity before any allocation: n must fit the 4-byte VertexId
+  // (which also makes the (n + 1) * 8 below overflow-free), and the
+  // declared payload must match the actual stream size exactly, so a
+  // hostile header can neither trigger an unbounded allocation nor smuggle
+  // trailing bytes past the reader.
+  if (n > std::numeric_limits<graph::VertexId>::max()) {
+    throw IoError(IoErrorKind::kHeaderBounds,
+                  "vertex count " + std::to_string(n) +
+                      " exceeds 32-bit vertex ids",
+                  context, 0, 8);
+  }
+  const std::uint64_t offsets_bytes = (n + 1) * sizeof(graph::EdgeOffset);
+  const std::optional<std::uint64_t> neighbors_bytes =
+      support::checked_mul<std::uint64_t>(m, sizeof(graph::VertexId));
+  const std::optional<std::uint64_t> expected =
+      neighbors_bytes
+          ? support::checked_add<std::uint64_t>(
+                kHeaderBytes + offsets_bytes, *neighbors_bytes)
+          : std::nullopt;
+  if (!expected) {
+    throw IoError(IoErrorKind::kHeaderBounds,
+                  "declared sizes overflow 64 bits (n=" +
+                      std::to_string(n) + ", m=" + std::to_string(m) + ")",
+                  context, 0, 8);
+  }
+  if (total_bytes) {
+    if (*expected > *total_bytes) {
+      throw IoError(IoErrorKind::kTruncated,
+                    "header declares " + std::to_string(*expected) +
+                        " bytes but stream holds " +
+                        std::to_string(*total_bytes),
+                    context, 0, 8);
+    }
+    if (*expected < *total_bytes) {
+      throw IoError(IoErrorKind::kTrailingGarbage,
+                    std::to_string(*total_bytes - *expected) +
+                        " byte(s) past the declared payload",
+                    context, 0, *expected);
+    }
+  }
+
+  support::UninitVector<graph::EdgeOffset> offsets(
+      static_cast<std::size_t>(n) + 1);
+  support::UninitVector<graph::VertexId> neighbors(
+      static_cast<std::size_t>(m));
+  read_raw(in, offsets.data(), offsets_bytes, context, kHeaderBytes);
+  read_raw(in, neighbors.data(), *neighbors_bytes, context,
+           kHeaderBytes + offsets_bytes);
+  if (!total_bytes && in.peek() != std::istream::traits_type::eof()) {
+    throw IoError(IoErrorKind::kTrailingGarbage,
+                  "bytes past the declared payload", context, 0,
+                  *expected);
+  }
+
+  // Payload invariants: verified here, on the raw arrays, so corrupt data
+  // surfaces as a catchable typed error instead of tripping the CsrGraph
+  // constructor's aborting contract checks.  Symmetry is deliberately not
+  // required of snapshots; validate_csr covers it for callers that care.
+  graph::ValidateOptions vopts;
+  vopts.check_symmetry = false;
+  const graph::ValidationReport report = graph::validate_csr(
+      {offsets.data(), offsets.size()}, {neighbors.data(), neighbors.size()},
+      vopts);
+  if (!report.ok()) {
+    throw IoError(IoErrorKind::kInvariantViolation, report.to_string(),
+                  context, 0, violation_byte_offset(report, n));
+  }
   return graph::CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+graph::CsrGraph read_csr_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open for read", path);
+  }
+  return read_csr(in, path);
 }
 
 }  // namespace thrifty::io

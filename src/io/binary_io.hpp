@@ -7,19 +7,41 @@
 //   m       directed edge count   8 bytes
 //   offsets (n+1) * 8 bytes
 //   neighbors m * 4 bytes
+//
+// The reader is strict: the declared n/m are cross-checked against the
+// actual stream size *before* any allocation (a hostile header cannot
+// trigger a multi-gigabyte allocation or an integer-overflowed one), the
+// payload must match the header exactly (no trailing bytes), and the
+// loaded arrays must satisfy the CSR invariants (offsets[0] == 0,
+// monotone, offsets[n] == m, neighbour ids < n) — see
+// graph/validate.hpp.  Violations surface as typed IoErrors carrying the
+// byte offset of the offending datum.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "graph/csr_graph.hpp"
+#include "io/io_error.hpp"
 
 namespace thrifty::io {
 
-/// Serialises a CSR graph.  Throws std::runtime_error on I/O failure.
+/// Serialises a CSR graph to a stream.  Throws IoError(kWriteFailed).
+void write_csr(std::ostream& out, const graph::CsrGraph& graph);
+
+/// Serialises a CSR graph to a file.  Throws IoError on I/O failure.
 void write_csr_file(const std::string& path, const graph::CsrGraph& graph);
 
-/// Loads a CSR graph.  Throws std::runtime_error on I/O failure, bad magic
-/// or truncated payload.
+/// Loads a CSR graph from a seekable stream.  `context` names the source
+/// in error messages (the file path when called via read_csr_file).
+/// Throws IoError with the precise kind: kBadMagic, kTruncated,
+/// kTrailingGarbage, kHeaderBounds, or kInvariantViolation.
+[[nodiscard]] graph::CsrGraph read_csr(std::istream& in,
+                                       const std::string& context =
+                                           "<stream>");
+
+/// Loads a CSR graph from a file.  Throws IoError (see read_csr), plus
+/// kOpenFailed when the file cannot be opened.
 [[nodiscard]] graph::CsrGraph read_csr_file(const std::string& path);
 
 }  // namespace thrifty::io

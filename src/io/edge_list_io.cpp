@@ -4,8 +4,8 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
-#include <string>
+
+#include "io/io_error.hpp"
 
 namespace thrifty::io {
 
@@ -15,13 +15,12 @@ using graph::VertexId;
 
 namespace {
 
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
 /// Parses one unsigned integer starting at `pos` in `line`, skipping
 /// leading whitespace.  Advances `pos` past the number.
 bool parse_vertex(const std::string& line, std::size_t& pos, VertexId& out) {
-  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t' ||
-                               line[pos] == '\r')) {
-    ++pos;
-  }
+  while (pos < line.size() && is_space(line[pos])) ++pos;
   if (pos >= line.size()) return false;
   const char* begin = line.data() + pos;
   const char* end = line.data() + line.size();
@@ -31,34 +30,48 @@ bool parse_vertex(const std::string& line, std::size_t& pos, VertexId& out) {
   return true;
 }
 
-}  // namespace
-
-EdgeList read_edge_list(std::istream& in) {
+EdgeList read_edge_list_impl(std::istream& in, const std::string& context) {
   EdgeList edges;
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
     std::size_t pos = 0;
-    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
-      ++pos;
-    }
+    while (pos < line.size() && is_space(line[pos])) ++pos;
     if (pos >= line.size() || line[pos] == '#' || line[pos] == '%') continue;
     Edge e{};
     if (!parse_vertex(line, pos, e.u) || !parse_vertex(line, pos, e.v)) {
-      throw std::runtime_error("edge list: malformed line " +
-                               std::to_string(line_number) + ": '" + line +
-                               "'");
+      throw IoError(IoErrorKind::kMalformedLine,
+                    "expected 'u v', got: '" + line + "'", context,
+                    line_number);
+    }
+    // Anything after the second endpoint must be whitespace or a trailing
+    // comment; "1 2 xyz" silently parsing as edge 1-2 hides corruption.
+    while (pos < line.size() && is_space(line[pos])) ++pos;
+    if (pos < line.size() && line[pos] != '#' && line[pos] != '%') {
+      throw IoError(IoErrorKind::kTrailingGarbage,
+                    "unexpected content after edge: '" + line.substr(pos) +
+                        "'",
+                    context, line_number);
     }
     edges.push_back(e);
   }
   return edges;
 }
 
+}  // namespace
+
+EdgeList read_edge_list(std::istream& in) {
+  return read_edge_list_impl(in, {});
+}
+
 EdgeList read_edge_list_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open edge list file: " + path);
-  return read_edge_list(in);
+  if (!in) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open edge list file",
+                  path);
+  }
+  return read_edge_list_impl(in, path);
 }
 
 void write_edge_list(std::ostream& out, const EdgeList& edges) {
@@ -69,7 +82,10 @@ void write_edge_list(std::ostream& out, const EdgeList& edges) {
 
 void write_edge_list_file(const std::string& path, const EdgeList& edges) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open file for write: " + path);
+  if (!out) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open file for write",
+                  path);
+  }
   write_edge_list(out, edges);
 }
 

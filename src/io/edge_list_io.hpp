@@ -10,12 +10,15 @@
 
 namespace thrifty::io {
 
-/// Parses an edge list from a stream.  Throws std::runtime_error on
-/// malformed lines (non-numeric tokens, missing endpoint).
+/// Parses an edge list from a stream.  Throws IoError (a
+/// std::runtime_error) with the 1-based line number on malformed lines:
+/// non-numeric tokens, missing endpoints, or trailing non-comment content
+/// after the second endpoint ("1 2 xyz" is rejected, "1 2  # note" is
+/// accepted).
 [[nodiscard]] graph::EdgeList read_edge_list(std::istream& in);
 
-/// Parses an edge list from a file.  Throws std::runtime_error when the
-/// file cannot be opened or is malformed.
+/// Parses an edge list from a file.  Throws IoError when the file cannot
+/// be opened or is malformed.
 [[nodiscard]] graph::EdgeList read_edge_list_file(const std::string& path);
 
 /// Writes one edge per line.

@@ -1,0 +1,66 @@
+#include "io/io_error.hpp"
+
+#include <sstream>
+
+namespace thrifty::io {
+
+namespace {
+
+std::string format_message(IoErrorKind kind, const std::string& message,
+                           const std::string& file, std::uint64_t line,
+                           std::uint64_t byte_offset) {
+  std::ostringstream out;
+  if (!file.empty()) {
+    out << file << ": ";
+    if (line > 0) out << "line " << line << ": ";
+  } else if (line > 0) {
+    out << "line " << line << ": ";
+  }
+  out << '[' << to_string(kind) << "] " << message;
+  if (byte_offset != IoError::kNoPosition) {
+    out << " (byte offset " << byte_offset << ')';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+const char* to_string(IoErrorKind kind) {
+  switch (kind) {
+    case IoErrorKind::kOpenFailed:
+      return "open failed";
+    case IoErrorKind::kWriteFailed:
+      return "write failed";
+    case IoErrorKind::kBadMagic:
+      return "bad magic";
+    case IoErrorKind::kTruncated:
+      return "truncated";
+    case IoErrorKind::kTrailingGarbage:
+      return "trailing garbage";
+    case IoErrorKind::kHeaderBounds:
+      return "header out of bounds";
+    case IoErrorKind::kMalformedLine:
+      return "malformed line";
+    case IoErrorKind::kCountMismatch:
+      return "count mismatch";
+    case IoErrorKind::kIndexOutOfRange:
+      return "index out of range";
+    case IoErrorKind::kBadBanner:
+      return "bad banner";
+    case IoErrorKind::kInvariantViolation:
+      return "invariant violation";
+  }
+  return "unknown";
+}
+
+IoError::IoError(IoErrorKind kind, const std::string& message,
+                 const std::string& file, std::uint64_t line,
+                 std::uint64_t byte_offset)
+    : std::runtime_error(
+          format_message(kind, message, file, line, byte_offset)),
+      kind_(kind),
+      file_(file),
+      line_(line),
+      byte_offset_(byte_offset) {}
+
+}  // namespace thrifty::io

@@ -1,0 +1,58 @@
+// Typed errors for the graph-ingest layer.
+//
+// Loaders face untrusted bytes, so "something went wrong" must carry
+// enough structure for callers to react (and for the fuzz harness to
+// assert that rejection was deliberate, not an accident of control flow):
+// which contract was broken (`IoErrorKind`), where (file, 1-based line for
+// text formats, byte offset for binary ones), and a human message.
+//
+// `IoError` derives from std::runtime_error so every existing call site
+// that catches the old untyped errors keeps working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace thrifty::io {
+
+enum class IoErrorKind : std::uint8_t {
+  kOpenFailed,       ///< file could not be opened for read/write
+  kWriteFailed,      ///< stream write error
+  kBadMagic,         ///< binary snapshot magic mismatch
+  kTruncated,        ///< fewer bytes/entries than the header declares
+  kTrailingGarbage,  ///< more bytes than the header declares
+  kHeaderBounds,     ///< declared n/m exceed representable or file limits
+  kMalformedLine,    ///< unparsable text line
+  kCountMismatch,    ///< declared entry count inconsistent with payload
+  kIndexOutOfRange,  ///< vertex index outside [0, n)
+  kBadBanner,        ///< unsupported Matrix Market banner qualifiers
+  kInvariantViolation,  ///< payload parsed but breaks a CSR invariant
+};
+
+[[nodiscard]] const char* to_string(IoErrorKind kind);
+
+class IoError : public std::runtime_error {
+ public:
+  static constexpr std::uint64_t kNoPosition =
+      static_cast<std::uint64_t>(-1);
+
+  /// `line` is 1-based (0 = not applicable); `byte_offset` is the position
+  /// of the offending datum (kNoPosition = not applicable).
+  IoError(IoErrorKind kind, const std::string& message,
+          const std::string& file = {}, std::uint64_t line = 0,
+          std::uint64_t byte_offset = kNoPosition);
+
+  [[nodiscard]] IoErrorKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& file() const { return file_; }
+  [[nodiscard]] std::uint64_t line() const { return line_; }
+  [[nodiscard]] std::uint64_t byte_offset() const { return byte_offset_; }
+
+ private:
+  IoErrorKind kind_;
+  std::string file_;
+  std::uint64_t line_;
+  std::uint64_t byte_offset_;
+};
+
+}  // namespace thrifty::io

@@ -1,36 +1,78 @@
 #include "io/matrix_market_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
+#include <limits>
+#include <optional>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
-#include <string>
+
+#include "io/io_error.hpp"
 
 namespace thrifty::io {
 
 using graph::Edge;
 using graph::VertexId;
 
-MatrixMarketGraph read_matrix_market(std::istream& in) {
+namespace {
+
+/// Remaining bytes in the stream past the current position, or nullopt
+/// when the stream is not seekable.
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  const std::istream::pos_type current = in.tellg();
+  if (current == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(current);
+  if (end == std::istream::pos_type(-1) || end < current) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - current);
+}
+
+MatrixMarketGraph read_matrix_market_impl(std::istream& in,
+                                          const std::string& context) {
   std::string line;
+  std::size_t line_number = 1;
   if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
-    throw std::runtime_error("matrix market: missing %%MatrixMarket header");
+    throw IoError(IoErrorKind::kBadBanner,
+                  "missing %%MatrixMarket header", context, 1);
   }
   {
     std::istringstream header(line);
     std::string banner;
     std::string object;
     std::string format;
-    header >> banner >> object >> format;
+    std::string field;
+    std::string symmetry;
+    header >> banner >> object >> format >> field >> symmetry;
     if (object != "matrix" || format != "coordinate") {
-      throw std::runtime_error(
-          "matrix market: only 'matrix coordinate' supported, got: " + line);
+      throw IoError(IoErrorKind::kBadBanner,
+                    "only 'matrix coordinate' supported, got: " + line,
+                    context, 1);
+    }
+    // The banner's qualifiers matter: an unsupported field or symmetry
+    // means we would silently misinterpret the entries.  Values are
+    // ignored (pattern-only read), so any scalar field is fine, but
+    // skew-symmetric / hermitian storage implies transformations we do
+    // not apply.
+    if (field != "pattern" && field != "real" && field != "integer" &&
+        field != "complex") {
+      throw IoError(IoErrorKind::kBadBanner,
+                    "unsupported field qualifier '" + field + "'", context,
+                    1);
+    }
+    if (symmetry != "general" && symmetry != "symmetric") {
+      throw IoError(IoErrorKind::kBadBanner,
+                    "unsupported symmetry qualifier '" + symmetry + "'",
+                    context, 1);
     }
   }
 
   // Skip comment lines, then read the size line.
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line[0] != '%') break;
   }
   std::uint64_t rows = 0;
@@ -39,42 +81,85 @@ MatrixMarketGraph read_matrix_market(std::istream& in) {
   {
     std::istringstream size_line(line);
     if (!(size_line >> rows >> cols >> entries)) {
-      throw std::runtime_error("matrix market: malformed size line: " + line);
+      throw IoError(IoErrorKind::kMalformedLine,
+                    "malformed size line: " + line, context, line_number);
     }
   }
   if (rows != cols) {
-    throw std::runtime_error("matrix market: adjacency matrix must be square");
+    throw IoError(IoErrorKind::kHeaderBounds,
+                  "adjacency matrix must be square", context, line_number);
+  }
+  if (rows > std::numeric_limits<VertexId>::max()) {
+    throw IoError(IoErrorKind::kHeaderBounds,
+                  "dimension " + std::to_string(rows) +
+                      " exceeds 32-bit vertex ids",
+                  context, line_number);
   }
 
+  // The declared entry count is untrusted: cross-check it against the
+  // bytes actually left in the stream (each entry line needs >= 3 bytes,
+  // "1 1") so a hostile size line can neither reserve gigabytes nor make
+  // us loop forever expecting entries that cannot exist.
+  const std::optional<std::uint64_t> remaining = remaining_bytes(in);
+  if (remaining) {
+    const std::uint64_t max_entries = *remaining / 3 + 1;
+    if (entries > max_entries) {
+      throw IoError(IoErrorKind::kCountMismatch,
+                    "declared " + std::to_string(entries) +
+                        " entries but only " + std::to_string(*remaining) +
+                        " bytes remain",
+                    context, line_number);
+    }
+  }
   MatrixMarketGraph result;
   result.num_vertices = static_cast<VertexId>(rows);
-  result.edges.reserve(entries);
+  constexpr std::uint64_t kBlindReserveCap = 1 << 20;
+  result.edges.reserve(static_cast<std::size_t>(
+      remaining ? entries : std::min(entries, kBlindReserveCap)));
+
   std::uint64_t seen = 0;
   while (seen < entries && std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream entry(line);
     std::uint64_t r = 0;
     std::uint64_t c = 0;
     if (!(entry >> r >> c)) {
-      throw std::runtime_error("matrix market: malformed entry: " + line);
+      throw IoError(IoErrorKind::kMalformedLine,
+                    "malformed entry: " + line, context, line_number);
     }
     if (r == 0 || c == 0 || r > rows || c > cols) {
-      throw std::runtime_error("matrix market: index out of range: " + line);
+      throw IoError(IoErrorKind::kIndexOutOfRange,
+                    "entry outside 1.." + std::to_string(rows) + ": " +
+                        line,
+                    context, line_number);
     }
     result.edges.push_back(Edge{static_cast<VertexId>(r - 1),
                                 static_cast<VertexId>(c - 1)});
     ++seen;
   }
   if (seen != entries) {
-    throw std::runtime_error("matrix market: fewer entries than declared");
+    throw IoError(IoErrorKind::kTruncated,
+                  "declared " + std::to_string(entries) +
+                      " entries, found " + std::to_string(seen),
+                  context, line_number);
   }
   return result;
 }
 
+}  // namespace
+
+MatrixMarketGraph read_matrix_market(std::istream& in) {
+  return read_matrix_market_impl(in, {});
+}
+
 MatrixMarketGraph read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open matrix market: " + path);
-  return read_matrix_market(in);
+  if (!in) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open matrix market",
+                  path);
+  }
+  return read_matrix_market_impl(in, path);
 }
 
 void write_matrix_market(std::ostream& out, const graph::EdgeList& edges,
@@ -93,7 +178,9 @@ void write_matrix_market_file(const std::string& path,
                               const graph::EdgeList& edges,
                               VertexId num_vertices) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open for write", path);
+  }
   write_matrix_market(out, edges, num_vertices);
 }
 

@@ -17,7 +17,10 @@ struct MatrixMarketGraph {
   graph::EdgeList edges;
 };
 
-/// Throws std::runtime_error on malformed headers or entries.
+/// Throws IoError (a std::runtime_error) on malformed or unsupported
+/// banners (field must be pattern/real/integer/complex, symmetry must be
+/// general/symmetric), malformed entries, out-of-range indices, or a
+/// declared entry count inconsistent with the stream size.
 [[nodiscard]] MatrixMarketGraph read_matrix_market(std::istream& in);
 
 [[nodiscard]] MatrixMarketGraph read_matrix_market_file(

@@ -1,12 +1,16 @@
 // Small numeric helpers shared by the statistics and benchmark reporting
 // code: geometric means (Figure 1 reports geomean speedups) and percentile
-// selection for timing summaries.
+// selection for timing summaries.  Also overflow-checked integer arithmetic
+// for code that computes sizes from untrusted inputs (the strict graph
+// loaders of src/io).
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "support/assert.hpp"
@@ -48,6 +52,25 @@ namespace thrifty::support {
 template <typename T>
 [[nodiscard]] constexpr T ceil_div(T numerator, T denominator) {
   return (numerator + denominator - 1) / denominator;
+}
+
+/// `a + b`, or nullopt on unsigned overflow.  For size computations on
+/// untrusted values (file headers) where wraparound must not pass silently.
+template <typename T>
+[[nodiscard]] constexpr std::optional<T> checked_add(T a, T b) {
+  static_assert(std::is_unsigned_v<T>);
+  T result{};
+  if (__builtin_add_overflow(a, b, &result)) return std::nullopt;
+  return result;
+}
+
+/// `a * b`, or nullopt on unsigned overflow.
+template <typename T>
+[[nodiscard]] constexpr std::optional<T> checked_mul(T a, T b) {
+  static_assert(std::is_unsigned_v<T>);
+  T result{};
+  if (__builtin_mul_overflow(a, b, &result)) return std::nullopt;
+  return result;
 }
 
 }  // namespace thrifty::support

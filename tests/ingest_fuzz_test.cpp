@@ -1,0 +1,52 @@
+// Runs the ingest fuzz/differential harness (tools/ingest_fuzzer.hpp) at
+// a budget small enough for the unit-test suite: every structured
+// corruption of every format must be rejected with a typed IoError or
+// produce data the CSR invariant checker accepts, and all three formats
+// must round-trip byte-identically.  The fuzz_ingest CLI runs the same
+// harness at a larger budget in CI.
+#include <gtest/gtest.h>
+
+#include "tools/ingest_fuzzer.hpp"
+
+namespace thrifty::tools {
+namespace {
+
+TEST(IngestFuzz, RoundTripsAreByteIdentical) {
+  const auto failures = check_round_trips(/*seed=*/1);
+  EXPECT_TRUE(failures.empty());
+  for (const auto& f : failures) ADD_FAILURE() << f;
+}
+
+TEST(IngestFuzz, RoundTripsAreByteIdenticalAcrossSeeds) {
+  for (const std::uint64_t seed : {2ull, 3ull, 4ull}) {
+    for (const auto& f : check_round_trips(seed)) {
+      ADD_FAILURE() << "seed " << seed << ": " << f;
+    }
+  }
+}
+
+TEST(IngestFuzz, MutatedInputsRejectedOrValid) {
+  FuzzOptions options;
+  options.iterations = 300;
+  options.seed = 20260806;
+  const FuzzStats stats = fuzz_ingest(options);
+  EXPECT_EQ(stats.iterations, options.iterations);
+  for (const auto& f : stats.failures) ADD_FAILURE() << f;
+  // The mutation mix must actually exercise both sides of the contract.
+  EXPECT_GT(stats.rejected, 0u);
+  EXPECT_GT(stats.accepted_valid, 0u);
+}
+
+TEST(IngestFuzz, DeterministicInSeed) {
+  FuzzOptions options;
+  options.iterations = 50;
+  options.seed = 99;
+  const FuzzStats a = fuzz_ingest(options);
+  const FuzzStats b = fuzz_ingest(options);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.accepted_valid, b.accepted_valid);
+  EXPECT_EQ(a.accepted_unbuilt, b.accepted_unbuilt);
+}
+
+}  // namespace
+}  // namespace thrifty::tools

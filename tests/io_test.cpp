@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +18,7 @@
 #include "graph/builder.hpp"
 #include "io/binary_io.hpp"
 #include "io/edge_list_io.hpp"
+#include "io/io_error.hpp"
 #include "io/matrix_market_io.hpp"
 
 namespace thrifty::io {
@@ -185,6 +188,216 @@ TEST_F(TempDir, MatrixMarketFileRoundTrip) {
   const MatrixMarketGraph g = read_matrix_market_file(path("g.mtx"));
   EXPECT_EQ(g.num_vertices, 6u);
   EXPECT_EQ(g.edges.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Typed error paths: each documented corrupt-input class must surface as
+// an IoError with the intended kind (not just "some runtime_error"), so
+// callers and the fuzz harness can tell deliberate rejection from
+// accidental control flow.
+
+/// Runs `fn`, expecting it to throw IoError; returns the caught error.
+IoError expect_io_error(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const IoError& e) {
+    return e;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "threw non-IoError: " << e.what();
+    return IoError(IoErrorKind::kOpenFailed, "wrong exception type");
+  }
+  ADD_FAILURE() << "no exception thrown";
+  return IoError(IoErrorKind::kOpenFailed, "nothing thrown");
+}
+
+/// Serialises a small valid graph to bytes for corruption tests.
+std::string valid_snapshot_bytes() {
+  const CsrGraph g = graph::build_csr(gen::cycle_edges(16)).graph;
+  std::ostringstream out(std::ios::binary);
+  write_csr(out, g);
+  return out.str();
+}
+
+graph::CsrGraph read_bytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return read_csr(in, "<test>");
+}
+
+TEST(BinaryErrors, BadMagicIsTyped) {
+  std::string bytes = valid_snapshot_bytes();
+  bytes[0] = 'X';
+  const IoError e = expect_io_error([&] { (void)read_bytes(bytes); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kBadMagic);
+}
+
+TEST(BinaryErrors, TruncatedPayloadIsTyped) {
+  const std::string bytes = valid_snapshot_bytes();
+  const IoError e = expect_io_error(
+      [&] { (void)read_bytes(bytes.substr(0, bytes.size() / 2)); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kTruncated);
+}
+
+TEST(BinaryErrors, TrailingGarbageIsTyped) {
+  std::string bytes = valid_snapshot_bytes();
+  bytes += "extra";
+  const IoError e = expect_io_error([&] { (void)read_bytes(bytes); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kTrailingGarbage);
+}
+
+TEST(BinaryErrors, HugeVertexCountRejectedBeforeAllocating) {
+  // Regression: a header declaring n == UINT64_MAX used to make the
+  // reader compute n + 1 == 0 and attempt unbounded allocation.  It must
+  // be rejected from the header alone.
+  std::string bytes = valid_snapshot_bytes();
+  const std::uint64_t n = ~0ULL;
+  std::memcpy(bytes.data() + 8, &n, sizeof n);
+  const IoError e = expect_io_error([&] { (void)read_bytes(bytes); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kHeaderBounds);
+}
+
+TEST(BinaryErrors, OversizedEdgeCountRejectedBeforeAllocating) {
+  // m fits 64-bit arithmetic but dwarfs the actual stream: must be caught
+  // by the file-size cross-check, not by a failed multi-GB allocation.
+  std::string bytes = valid_snapshot_bytes();
+  const std::uint64_t m = 1ULL << 40;
+  std::memcpy(bytes.data() + 16, &m, sizeof m);
+  const IoError e = expect_io_error([&] { (void)read_bytes(bytes); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kTruncated);
+}
+
+TEST(BinaryErrors, NonMonotoneOffsetsAreTyped) {
+  // Swap offsets[1] and offsets[2] of the 16-cycle (2 and 4).
+  std::string bytes = valid_snapshot_bytes();
+  char tmp[8];
+  std::memcpy(tmp, bytes.data() + 24 + 8, 8);
+  std::memcpy(bytes.data() + 24 + 8, bytes.data() + 24 + 16, 8);
+  std::memcpy(bytes.data() + 24 + 16, tmp, 8);
+  const IoError e = expect_io_error([&] { (void)read_bytes(bytes); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kInvariantViolation);
+}
+
+TEST(BinaryErrors, OutOfRangeNeighborIsTypedWithByteOffset) {
+  std::string bytes = valid_snapshot_bytes();
+  std::uint64_t n = 0;
+  std::memcpy(&n, bytes.data() + 8, sizeof n);
+  const std::size_t neighbors_base = 24 + (n + 1) * 8;
+  const graph::VertexId bad = 0xFFFFFFFFu;
+  std::memcpy(bytes.data() + neighbors_base + 4, &bad, sizeof bad);
+  const IoError e = expect_io_error([&] { (void)read_bytes(bytes); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kInvariantViolation);
+  EXPECT_EQ(e.byte_offset(), neighbors_base + 4);
+}
+
+TEST(BinaryErrors, MissingFileIsTyped) {
+  const IoError e = expect_io_error(
+      [] { (void)read_csr_file("/nonexistent/definitely/not/here.bin"); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kOpenFailed);
+}
+
+TEST(EdgeListErrors, TrailingGarbageRejectedWithLineNumber) {
+  std::istringstream in("0 1\n1 2 xyz\n");
+  const IoError e =
+      expect_io_error([&] { (void)read_edge_list(in); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kTrailingGarbage);
+  EXPECT_EQ(e.line(), 2u);
+}
+
+TEST(EdgeListErrors, ExtraNumericTokenRejected) {
+  // "1 2 3" is a weighted edge or corruption — never silently edge 1-2.
+  std::istringstream in("1 2 3\n");
+  EXPECT_EQ(expect_io_error([&] { (void)read_edge_list(in); }).kind(),
+            IoErrorKind::kTrailingGarbage);
+}
+
+TEST(EdgeListErrors, TrailingWhitespaceAndCommentsAccepted) {
+  std::istringstream in("0 1   \n1 2\t# weight note\n2 3 % konect note\n");
+  EXPECT_EQ(read_edge_list(in).size(), 3u);
+}
+
+TEST(EdgeListErrors, MalformedLineIsTyped) {
+  std::istringstream in("0 1\nnot numbers\n");
+  const IoError e = expect_io_error([&] { (void)read_edge_list(in); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kMalformedLine);
+  EXPECT_EQ(e.line(), 2u);
+}
+
+TEST(MatrixMarketErrors, OversizedEntryCountRejectedBeforeReserve) {
+  // A hostile size line declaring 10^12 entries in a tiny stream must be
+  // rejected up front (the old reader reserved memory for it).
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "4 4 1000000000000\n"
+      "2 1\n");
+  const IoError e =
+      expect_io_error([&] { (void)read_matrix_market(in); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kCountMismatch);
+}
+
+TEST(MatrixMarketErrors, UnsupportedSymmetryQualifierRejected) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern hermitian\n2 2 1\n2 1\n");
+  EXPECT_EQ(expect_io_error([&] { (void)read_matrix_market(in); }).kind(),
+            IoErrorKind::kBadBanner);
+}
+
+TEST(MatrixMarketErrors, UnsupportedFieldQualifierRejected) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate quaternion symmetric\n2 2 1\n2 1\n");
+  EXPECT_EQ(expect_io_error([&] { (void)read_matrix_market(in); }).kind(),
+            IoErrorKind::kBadBanner);
+}
+
+TEST(MatrixMarketErrors, SupportedQualifiersStillAccepted) {
+  for (const char* banner :
+       {"%%MatrixMarket matrix coordinate pattern general\n",
+        "%%MatrixMarket matrix coordinate real symmetric\n",
+        "%%MatrixMarket matrix coordinate integer general\n"}) {
+    std::istringstream in(std::string(banner) + "2 2 1\n2 1 5\n");
+    EXPECT_EQ(read_matrix_market(in).edges.size(), 1u) << banner;
+  }
+}
+
+TEST(MatrixMarketErrors, ShortFileIsTypedTruncated) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 2\n");
+  EXPECT_EQ(expect_io_error([&] { (void)read_matrix_market(in); }).kind(),
+            IoErrorKind::kTruncated);
+}
+
+TEST(MatrixMarketErrors, OutOfRangeEntryIsTypedWithLine) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n3 1\n");
+  const IoError e =
+      expect_io_error([&] { (void)read_matrix_market(in); });
+  EXPECT_EQ(e.kind(), IoErrorKind::kIndexOutOfRange);
+  EXPECT_EQ(e.line(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identical round trips through files for all three formats.
+
+TEST_F(TempDir, AllFormatsRoundTripByteIdenticalThroughFiles) {
+  const EdgeList edges = gen::random_tree_edges(200, 5);
+  const CsrGraph g = graph::build_csr(edges).graph;
+  const auto file_bytes = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  write_csr_file(path("a.bin"), g);
+  write_csr_file(path("b.bin"), read_csr_file(path("a.bin")));
+  EXPECT_EQ(file_bytes(path("a.bin")), file_bytes(path("b.bin")));
+
+  write_edge_list_file(path("a.el"), edges);
+  write_edge_list_file(path("b.el"), read_edge_list_file(path("a.el")));
+  EXPECT_EQ(file_bytes(path("a.el")), file_bytes(path("b.el")));
+
+  write_matrix_market_file(path("a.mtx"), edges, 200);
+  const MatrixMarketGraph mm = read_matrix_market_file(path("a.mtx"));
+  write_matrix_market_file(path("b.mtx"), mm.edges, mm.num_vertices);
+  EXPECT_EQ(file_bytes(path("a.mtx")), file_bytes(path("b.mtx")));
 }
 
 }  // namespace

@@ -1,0 +1,75 @@
+// fuzz_ingest — structured-mutation fuzz and differential harness for the
+// graph-ingest pipeline (see tools/ingest_fuzzer.hpp).  Exits non-zero on
+// any ingest-contract violation, so CI can run it as a smoke gate.
+//
+//   fuzz_ingest [--iters=N] [--seed=S] [--verbose] [--no-round-trip]
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "tools/ingest_fuzzer.hpp"
+#include "tools/tool_common.hpp"
+
+namespace {
+
+using namespace thrifty;  // NOLINT(google-build-using-namespace)
+
+int run(int argc, char** argv) {
+  const tools::ArgParser args(argc, argv);
+  if (!args.positional().empty() || args.has_flag("help")) {
+    std::fprintf(stderr,
+                 "usage: fuzz_ingest [--iters=N] [--seed=S] [--verbose] "
+                 "[--no-round-trip]\n");
+    return args.has_flag("help") ? 0 : 2;
+  }
+  const auto unknown = args.unknown_flags(
+      {"iters", "seed", "verbose", "no-round-trip", "help"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
+    return 2;
+  }
+
+  int exit_code = 0;
+  if (!args.has_flag("no-round-trip")) {
+    const auto failures = tools::check_round_trips(
+        static_cast<std::uint64_t>(args.flag_int("seed", 1)));
+    std::printf("round-trip: %s\n",
+                failures.empty() ? "all formats byte-identical" : "FAILED");
+    for (const auto& f : failures) {
+      std::printf("  %s\n", f.c_str());
+      exit_code = 1;
+    }
+  }
+
+  tools::FuzzOptions options;
+  options.iterations =
+      static_cast<std::uint64_t>(args.flag_int("iters", 256));
+  options.seed = static_cast<std::uint64_t>(args.flag_int("seed", 1));
+  options.verbose = args.has_flag("verbose");
+  const tools::FuzzStats stats = tools::fuzz_ingest(options);
+  std::printf(
+      "fuzz: %llu iterations — %llu rejected with typed errors, %llu "
+      "accepted+validated, %llu accepted (too large to rebuild), %zu "
+      "contract violations\n",
+      static_cast<unsigned long long>(stats.iterations),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.accepted_valid),
+      static_cast<unsigned long long>(stats.accepted_unbuilt),
+      stats.failures.size());
+  for (const auto& f : stats.failures) {
+    std::printf("  %s\n", f.c_str());
+    exit_code = 1;
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
