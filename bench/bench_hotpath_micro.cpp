@@ -27,6 +27,7 @@
 #include "graph/builder.hpp"
 #include "support/env.hpp"
 #include "support/parallel.hpp"
+#include "support/run_config.hpp"
 #include "support/timer.hpp"
 #include "support/uninit_vector.hpp"
 
@@ -301,10 +302,13 @@ int run(int argc, char** argv) {
   {
     const auto* spec = bench::find_dataset("twitter");
     const CsrGraph g = bench::build_dataset(*spec, scale);
-    ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "1000000000", 1);
-    const double nosplit_ms =
-        min_time_ms(trials, [&] { (void)core::thrifty_cc(g); });
-    ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
+    support::RunConfig nosplit = support::run_config();
+    nosplit.hub_split_degree = 1'000'000'000;
+    double nosplit_ms = 0.0;
+    {
+      const support::RunConfigOverride scope(nosplit);
+      nosplit_ms = min_time_ms(trials, [&] { (void)core::thrifty_cc(g); });
+    }
     const double split_ms =
         min_time_ms(trials, [&] { (void)core::thrifty_cc(g); });
     report.add_comparison("thrifty_twitter_e2e", nosplit_ms, split_ms);

@@ -6,7 +6,7 @@
 #include <sstream>
 
 #include "core/verify.hpp"
-#include "support/env.hpp"
+#include "support/run_config.hpp"
 
 namespace thrifty::bench {
 
@@ -41,10 +41,7 @@ TimingResult time_algorithm(const baselines::AlgorithmEntry& entry,
   return result;
 }
 
-int default_trials() {
-  return static_cast<int>(
-      std::max<std::int64_t>(1, support::env_int("THRIFTY_BENCH_TRIALS", 3)));
-}
+int default_trials() { return support::run_config().bench_trials; }
 
 std::string describe_graph(const graph::CsrGraph& graph) {
   std::ostringstream out;

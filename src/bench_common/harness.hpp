@@ -32,7 +32,7 @@ struct HarnessOptions {
     const baselines::AlgorithmEntry& entry, const graph::CsrGraph& graph,
     const HarnessOptions& options = {});
 
-/// Number of trials adjusted to the THRIFTY_BENCH_TRIALS env var.
+/// Number of trials from run_config().bench_trials (THRIFTY_BENCH_TRIALS).
 [[nodiscard]] int default_trials();
 
 /// One-line dataset description: name, |V|, |E| (undirected), |CC|.

@@ -49,13 +49,18 @@ const AlgorithmEntry* find_algorithm(std::string_view name) {
   return nullptr;
 }
 
-core::CcResult run_algorithm(const AlgorithmEntry& entry,
-                             const graph::CsrGraph& graph,
-                             core::CcOptions options) {
+core::CcOptions effective_options(const AlgorithmEntry& entry,
+                                  core::CcOptions options) {
   if (entry.is_label_propagation && entry.default_threshold > 0.0) {
     options.density_threshold = entry.default_threshold;
   }
-  return entry.function(graph, options);
+  return options;
+}
+
+core::CcResult run_algorithm(const AlgorithmEntry& entry,
+                             const graph::CsrGraph& graph,
+                             core::CcOptions options) {
+  return entry.function(graph, effective_options(entry, options));
 }
 
 }  // namespace thrifty::baselines

@@ -35,10 +35,15 @@ struct AlgorithmEntry {
 /// Lookup by registry key; returns nullptr when unknown.
 [[nodiscard]] const AlgorithmEntry* find_algorithm(std::string_view name);
 
-/// Runs an entry with its own preferred density threshold (DO-LP-family
-/// systems use 5%, Thrifty 1%); all other fields of `options` pass
-/// through.  To sweep thresholds (Table VII), call the algorithm's
-/// function directly instead.
+/// The options run_algorithm actually uses: label-propagation entries
+/// with a preferred density threshold (DO-LP-family 5%, Thrifty 1%) have
+/// it applied; for every other entry `options` passes through untouched.
+[[nodiscard]] core::CcOptions effective_options(const AlgorithmEntry& entry,
+                                                core::CcOptions options);
+
+/// Runs an entry under effective_options(entry, options).  To sweep
+/// thresholds (Table VII), call the algorithm's function directly
+/// instead.
 [[nodiscard]] core::CcResult run_algorithm(const AlgorithmEntry& entry,
                                            const graph::CsrGraph& graph,
                                            core::CcOptions options = {});

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
-#include "support/env.hpp"
+#include "support/run_config.hpp"
 
 namespace thrifty::frontier {
 
@@ -99,12 +99,12 @@ class HubChunks {
 /// Default: an even per-thread share of the directed edges (a vertex
 /// bigger than that cannot be load-balanced at vertex granularity), with
 /// a floor that keeps tiny graphs on the cheap unsplit path.  Overridden
-/// by the THRIFTY_HUB_SPLIT_DEGREE environment variable.
+/// by run_config().hub_split_degree (THRIFTY_HUB_SPLIT_DEGREE at process
+/// start, or a support::RunConfigOverride scope).
 [[nodiscard]] inline graph::EdgeOffset hub_split_threshold(
     graph::EdgeOffset num_directed_edges, int num_threads) {
-  const std::int64_t env =
-      support::env_int("THRIFTY_HUB_SPLIT_DEGREE", 0);
-  if (env > 0) return static_cast<graph::EdgeOffset>(env);
+  const std::int64_t configured = support::run_config().hub_split_degree;
+  if (configured > 0) return static_cast<graph::EdgeOffset>(configured);
   return std::max<graph::EdgeOffset>(
       num_directed_edges / static_cast<graph::EdgeOffset>(
                                std::max(num_threads, 1)),

@@ -30,19 +30,28 @@ EdgeList disjoint_union(std::span<const EdgeList> parts,
   return combined;
 }
 
-void permute_vertex_ids(EdgeList& edges, VertexId n, std::uint64_t seed) {
-  if (n < 2) return;
+std::vector<VertexId> random_permutation(VertexId n, std::uint64_t seed) {
   std::vector<VertexId> perm(n);
   std::iota(perm.begin(), perm.end(), VertexId{0});
   support::Xoshiro256StarStar rng(seed);
-  for (VertexId i = n - 1; i > 0; --i) {
-    std::swap(perm[i], perm[rng.next_below(static_cast<std::uint64_t>(i) + 1)]);
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(perm[i - 1],
+              perm[rng.next_below(static_cast<std::uint64_t>(i))]);
   }
+  return perm;
+}
+
+void apply_permutation(EdgeList& edges, std::span<const VertexId> perm) {
   for (Edge& e : edges) {
-    THRIFTY_EXPECTS(e.u < n && e.v < n);
+    THRIFTY_EXPECTS(e.u < perm.size() && e.v < perm.size());
     e.u = perm[e.u];
     e.v = perm[e.v];
   }
+}
+
+void permute_vertex_ids(EdgeList& edges, VertexId n, std::uint64_t seed) {
+  if (n < 2) return;
+  apply_permutation(edges, random_permutation(n, seed));
 }
 
 VertexId append_satellite_components(EdgeList& edges, VertexId n,

@@ -21,7 +21,19 @@ namespace thrifty::gen {
     std::span<const graph::EdgeList> parts,
     std::span<const graph::VertexId> part_sizes);
 
+/// Uniformly random permutation of [0, n), Fisher–Yates, deterministic in
+/// `seed`.  `result[old_id]` is the new id.
+[[nodiscard]] std::vector<graph::VertexId> random_permutation(
+    graph::VertexId n, std::uint64_t seed);
+
+/// Rewrites every endpoint through `perm` (`perm[old_id]` = new id).
+void apply_permutation(graph::EdgeList& edges,
+                       std::span<const graph::VertexId> perm);
+
 /// Applies a uniformly random permutation to vertex ids in [0, n).
+/// Equivalent to apply_permutation(edges, random_permutation(n, seed));
+/// use the two-step form when the permutation itself is needed (e.g. to
+/// map per-vertex results back, as the crosscheck oracles do).
 void permute_vertex_ids(graph::EdgeList& edges, graph::VertexId n,
                         std::uint64_t seed);
 

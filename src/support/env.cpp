@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "support/run_config.hpp"
+
 namespace thrifty::support {
 
 std::optional<std::string> env_string(const char* name) {
@@ -20,13 +22,13 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return parsed;
 }
 
-Scale bench_scale() {
-  const auto text = env_string("THRIFTY_SCALE");
-  if (!text) return Scale::kSmall;
-  if (*text == "tiny") return Scale::kTiny;
-  if (*text == "large") return Scale::kLarge;
+Scale parse_scale(std::string_view text) {
+  if (text == "tiny") return Scale::kTiny;
+  if (text == "large") return Scale::kLarge;
   return Scale::kSmall;
 }
+
+Scale bench_scale() { return run_config().scale; }
 
 const char* to_string(Scale scale) {
   switch (scale) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace thrifty::support {
 
@@ -19,7 +20,11 @@ namespace thrifty::support {
 /// Dataset scaling selected by THRIFTY_SCALE=tiny|small|large.
 enum class Scale { kTiny, kSmall, kLarge };
 
-/// Reads THRIFTY_SCALE (default: small).  Unknown values fall back to small.
+/// Parses a scale name; unknown values fall back to small.
+[[nodiscard]] Scale parse_scale(std::string_view text);
+
+/// The current dataset scale — run_config().scale (seeded from
+/// THRIFTY_SCALE once at first access; see run_config.hpp).
 [[nodiscard]] Scale bench_scale();
 
 /// Human-readable name of a scale value.

@@ -1,0 +1,38 @@
+#include "support/run_config.hpp"
+
+#include <algorithm>
+
+namespace thrifty::support {
+
+namespace {
+
+RunConfig& storage() {
+  // Thread-safe lazy seeding (magic static); afterwards the struct only
+  // changes under the single-threaded RunConfigOverride contract.
+  static RunConfig config = run_config_from_env();
+  return config;
+}
+
+}  // namespace
+
+RunConfig run_config_from_env() {
+  RunConfig config;
+  config.hub_split_degree =
+      std::max<std::int64_t>(0, env_int("THRIFTY_HUB_SPLIT_DEGREE", 0));
+  const auto scale_text = env_string("THRIFTY_SCALE");
+  config.scale = scale_text ? parse_scale(*scale_text) : Scale::kSmall;
+  config.bench_trials = static_cast<int>(
+      std::max<std::int64_t>(1, env_int("THRIFTY_BENCH_TRIALS", 3)));
+  return config;
+}
+
+const RunConfig& run_config() { return storage(); }
+
+RunConfigOverride::RunConfigOverride(const RunConfig& config)
+    : saved_(storage()) {
+  storage() = config;
+}
+
+RunConfigOverride::~RunConfigOverride() { storage() = saved_; }
+
+}  // namespace thrifty::support

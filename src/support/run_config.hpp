@@ -1,0 +1,58 @@
+// Process-wide runtime configuration.
+//
+// Historically every knob was a separate THRIFTY_* environment variable
+// read at its point of use (hub_chunks.hpp, bench_common/harness.cpp,
+// env.cpp).  That forced "sweep this knob" tests to call ::setenv
+// mid-process, which races the C runtime's environ against getenv calls
+// from OpenMP worker threads — undefined behaviour that TSan cannot even
+// see because environ lives inside libc.  RunConfig snapshots the
+// environment exactly once, on first access, into a plain struct; tests
+// and harnesses perturb knobs through the explicit RunConfigOverride
+// RAII scope instead of mutating environ.
+#pragma once
+
+#include <cstdint>
+
+#include "support/env.hpp"
+
+namespace thrifty::support {
+
+struct RunConfig {
+  /// Degree above which a frontier vertex is traversed edge-parallel
+  /// (THRIFTY_HUB_SPLIT_DEGREE); 0 selects the automatic per-thread
+  /// share computed by frontier::hub_split_threshold.
+  std::int64_t hub_split_degree = 0;
+  /// Synthetic dataset scale for benchmarks (THRIFTY_SCALE).
+  Scale scale = Scale::kSmall;
+  /// Benchmark harness trial count (THRIFTY_BENCH_TRIALS), >= 1.
+  int bench_trials = 3;
+
+  friend bool operator==(const RunConfig&, const RunConfig&) = default;
+};
+
+/// Parses a RunConfig from the THRIFTY_* environment variables; unset or
+/// unparsable variables keep their defaults.  Pure read — never caches.
+[[nodiscard]] RunConfig run_config_from_env();
+
+/// The current configuration: seeded from the environment on first call,
+/// then stable for the life of the process except under an override.
+[[nodiscard]] const RunConfig& run_config();
+
+/// RAII explicit override of the process configuration, restoring the
+/// previous value on destruction.  Overrides nest.  Install and destroy
+/// only between algorithm invocations, from a single thread with no
+/// parallel region active: readers inside a running parallel region are
+/// not synchronised against the swap (the same contract the setenv idiom
+/// had), but plain-struct reads no longer touch environ.
+class RunConfigOverride {
+ public:
+  explicit RunConfigOverride(const RunConfig& config);
+  ~RunConfigOverride();
+  RunConfigOverride(const RunConfigOverride&) = delete;
+  RunConfigOverride& operator=(const RunConfigOverride&) = delete;
+
+ private:
+  RunConfig saved_;
+};
+
+}  // namespace thrifty::support

@@ -1,0 +1,197 @@
+#include "testing/crosscheck.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "support/random.hpp"
+#include "testing/minimize.hpp"
+
+namespace thrifty::testing {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::Label;
+using graph::VertexId;
+
+namespace {
+
+// Per-oracle salts deriving independent seed streams from one scenario
+// seed.
+constexpr std::uint64_t kAlgorithmSeedSalt = 0xc05cull;
+constexpr std::uint64_t kPermutationSalt = 0x9e24ull;
+constexpr std::uint64_t kExtraEdgeSalt = 0xadd1ull;
+
+RunSetup default_setup(std::uint64_t scenario_seed) {
+  RunSetup setup;
+  setup.algorithm_seed =
+      support::hash_mix(scenario_seed, kAlgorithmSeedSalt);
+  return setup;
+}
+
+CsrGraph graph_from_edges(const EdgeList& edges, VertexId num_vertices) {
+  Scenario shim;
+  shim.num_vertices = num_vertices;
+  shim.edges = edges;
+  return build_scenario_graph(shim);
+}
+
+/// Whether the implicated algorithm still disagrees with a fresh
+/// union-find reference on this candidate graph, under the recorded
+/// setup and fault.  Every oracle violation implies such a disagreement
+/// on its derived edge list (permutation and monotonicity failures
+/// included, since the reference is exact on any graph), so this single
+/// predicate drives both minimization and replay.
+bool still_fails(const baselines::AlgorithmEntry& entry,
+                 const RunSetup& setup, const Fault& fault,
+                 const EdgeList& edges, VertexId num_vertices) {
+  const CsrGraph graph = graph_from_edges(edges, num_vertices);
+  const std::vector<Label> reference = reference_partition(graph);
+  const core::CcResult result = run_under(entry, graph, setup, fault);
+  return !core::same_partition(result.label_span(), reference);
+}
+
+}  // namespace
+
+CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
+  CrosscheckSummary summary;
+  const std::size_t registry_size = baselines::all_algorithms().size();
+  if (!options.repro_dir.empty()) {
+    std::filesystem::create_directories(options.repro_dir);
+  }
+
+  const auto record = [&](const Scenario& scenario, const RunSetup& setup,
+                          const OracleFailure& failure, EdgeList edges,
+                          VertexId num_vertices) {
+    Repro repro;
+    repro.scenario_spec = scenario.spec;
+    repro.oracle = failure.oracle;
+    repro.algorithm = failure.algorithm;
+    repro.detail = failure.detail;
+    repro.setup = setup;
+    repro.fault = (options.fault.kind != FaultKind::kNone &&
+                   options.fault.algorithm == failure.algorithm)
+                      ? options.fault.kind
+                      : FaultKind::kNone;
+    repro.num_vertices = num_vertices;
+    repro.edges = std::move(edges);
+
+    const baselines::AlgorithmEntry* entry =
+        baselines::find_algorithm(failure.algorithm);
+    if (options.minimize && entry != nullptr) {
+      const Fault fault{repro.fault, failure.algorithm};
+      const FailurePredicate fails = [&](const EdgeList& candidate,
+                                         VertexId candidate_vertices) {
+        return still_fails(*entry, setup, fault, candidate,
+                           candidate_vertices);
+      };
+      // Guard against a failure that does not reproduce through the
+      // reference predicate (a non-deterministic bug the sweep caught on
+      // a luckier schedule); keep the full witness in that case.
+      if (fails(repro.edges, repro.num_vertices)) {
+        MinimizeResult minimized =
+            minimize_failure(repro.edges, repro.num_vertices, fails,
+                             options.max_minimize_evaluations);
+        repro.edges = std::move(minimized.edges);
+        repro.num_vertices = minimized.num_vertices;
+      }
+    }
+
+    FailureReport report;
+    report.repro = std::move(repro);
+    if (!options.repro_dir.empty()) {
+      std::ostringstream name;
+      name << "crosscheck_" << report.repro.oracle << "_"
+           << report.repro.algorithm << "_" << summary.failures.size()
+           << ".repro";
+      const std::filesystem::path path =
+          std::filesystem::path(options.repro_dir) / name.str();
+      write_repro_file(path.string(), report.repro);
+      report.repro_path = path.string();
+    }
+    summary.failures.push_back(std::move(report));
+  };
+
+  const auto process = [&](const Scenario& scenario) {
+    const CsrGraph graph = build_scenario_graph(scenario);
+    const std::vector<Label> reference = reference_partition(graph);
+
+    std::vector<RunSetup> setups;
+    setups.push_back(default_setup(scenario.seed));
+    if (options.perturb == CrosscheckOptions::Perturb::kSampled) {
+      setups.push_back(sampled_perturbation(scenario.seed));
+    } else if (options.perturb == CrosscheckOptions::Perturb::kFull) {
+      for (RunSetup setup : perturbation_matrix()) {
+        setup.algorithm_seed = setups.front().algorithm_seed;
+        setups.push_back(std::move(setup));
+      }
+    }
+
+    for (const RunSetup& setup : setups) {
+      summary.algorithm_runs += registry_size;
+      if (const auto failure =
+              check_all_algorithms(graph, reference, setup, options.fault)) {
+        record(scenario, setup, *failure, scenario.edges,
+               scenario.num_vertices);
+        return;  // one repro per scenario; move to the next seed
+      }
+    }
+
+    const RunSetup& base = setups.front();
+    if (options.permutation_oracle) {
+      const std::uint64_t permutation_seed =
+          support::hash_mix(scenario.seed, kPermutationSalt);
+      summary.algorithm_runs += registry_size;
+      if (const auto failure = check_permutation_invariance(
+              scenario, reference, base, permutation_seed)) {
+        record(scenario, base, *failure,
+               permuted_scenario_edges(scenario, permutation_seed),
+               scenario.num_vertices);
+        return;
+      }
+    }
+    if (options.monotonicity_oracle) {
+      const std::uint64_t extra_edge_seed =
+          support::hash_mix(scenario.seed, kExtraEdgeSalt);
+      summary.algorithm_runs += 1;
+      if (const auto failure = check_edge_addition_monotonicity(
+              scenario, reference, base, extra_edge_seed)) {
+        record(scenario, base, *failure,
+               augmented_scenario_edges(scenario, extra_edge_seed),
+               scenario.num_vertices);
+        return;
+      }
+    }
+  };
+
+  for (const std::string& spec : options.corpus_specs) {
+    if (static_cast<int>(summary.failures.size()) >= options.max_failures) {
+      break;
+    }
+    ++summary.scenarios;
+    process(scenario_from_spec(spec));
+  }
+  for (int i = 0; i < options.num_scenarios; ++i) {
+    if (static_cast<int>(summary.failures.size()) >= options.max_failures) {
+      break;
+    }
+    ++summary.scenarios;
+    process(make_random(options.base_seed + static_cast<std::uint64_t>(i)));
+  }
+  return summary;
+}
+
+bool replay_repro(const Repro& repro) {
+  const baselines::AlgorithmEntry* entry =
+      baselines::find_algorithm(repro.algorithm);
+  if (entry == nullptr) {
+    throw std::runtime_error("repro names unknown algorithm '" +
+                             repro.algorithm + "'");
+  }
+  const Fault fault{repro.fault, repro.algorithm};
+  return still_fails(*entry, repro.setup, fault, repro.edges,
+                     repro.num_vertices);
+}
+
+}  // namespace thrifty::testing

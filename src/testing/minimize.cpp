@@ -1,0 +1,136 @@
+#include "testing/minimize.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace thrifty::testing {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+namespace {
+
+/// Budget-aware predicate wrapper.
+class Budget {
+ public:
+  Budget(const FailurePredicate& fails, int max_evaluations)
+      : fails_(fails), remaining_(max_evaluations) {}
+
+  [[nodiscard]] bool exhausted() const { return remaining_ <= 0; }
+  [[nodiscard]] int spent() const { return spent_; }
+
+  bool check(const EdgeList& edges, VertexId n) {
+    --remaining_;
+    ++spent_;
+    return fails_(edges, n);
+  }
+
+ private:
+  const FailurePredicate& fails_;
+  int remaining_;
+  int spent_ = 0;
+};
+
+/// Classic ddmin: try dropping chunks (and keeping only chunks) at
+/// doubling granularity until no single chunk can be removed.
+EdgeList ddmin(EdgeList edges, VertexId n, Budget& budget) {
+  std::size_t granularity = 2;
+  while (edges.size() >= 2 && !budget.exhausted()) {
+    granularity = std::min(granularity, edges.size());
+    const std::size_t chunk =
+        (edges.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t begin = 0;
+         begin < edges.size() && !budget.exhausted(); begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, edges.size());
+      EdgeList candidate;
+      candidate.reserve(edges.size() - (end - begin));
+      candidate.insert(candidate.end(), edges.begin(),
+                       edges.begin() + static_cast<std::ptrdiff_t>(begin));
+      candidate.insert(candidate.end(),
+                       edges.begin() + static_cast<std::ptrdiff_t>(end),
+                       edges.end());
+      if (budget.check(candidate, n)) {
+        edges = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= edges.size()) break;  // single edges tried
+      granularity = std::min(edges.size(), granularity * 2);
+    }
+  }
+  return edges;
+}
+
+/// Final polish: repeatedly drop individual edges until none can go.
+EdgeList drop_single_edges(EdgeList edges, VertexId n, Budget& budget) {
+  bool progressed = true;
+  while (progressed && !budget.exhausted()) {
+    progressed = false;
+    for (std::size_t i = 0; i < edges.size() && !budget.exhausted(); ++i) {
+      EdgeList candidate = edges;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (budget.check(candidate, n)) {
+        edges = std::move(candidate);
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+MinimizeResult minimize_failure(EdgeList edges, VertexId num_vertices,
+                                const FailurePredicate& fails,
+                                int max_evaluations) {
+  THRIFTY_EXPECTS(fails(edges, num_vertices));
+  Budget budget(fails, max_evaluations);
+
+  edges = ddmin(std::move(edges), num_vertices, budget);
+  edges = drop_single_edges(std::move(edges), num_vertices, budget);
+
+  // Renumber endpoints densely so the witness is small in ids, not just
+  // in edges.  When the failure needs spare isolated vertices (e.g. a
+  // merge corruption over singleton components), grow the vertex count
+  // back in powers of two until the predicate fails again.
+  std::vector<VertexId> old_to_new(num_vertices,
+                                   static_cast<VertexId>(-1));
+  VertexId used = 0;
+  for (const graph::Edge& e : edges) {
+    if (old_to_new[e.u] == static_cast<VertexId>(-1)) {
+      old_to_new[e.u] = used++;
+    }
+    if (old_to_new[e.v] == static_cast<VertexId>(-1)) {
+      old_to_new[e.v] = used++;
+    }
+  }
+  EdgeList renumbered;
+  renumbered.reserve(edges.size());
+  for (const graph::Edge& e : edges) {
+    renumbered.push_back({old_to_new[e.u], old_to_new[e.v]});
+  }
+  MinimizeResult result;
+  result.num_vertices = num_vertices;
+  result.edges = std::move(edges);
+  for (VertexId n = used; n <= num_vertices && !budget.exhausted();
+       n = std::max<VertexId>(n + 1, n * 2)) {
+    if (budget.check(renumbered, n)) {
+      result.edges = std::move(renumbered);
+      result.num_vertices = n;
+      break;
+    }
+  }
+  result.evaluations = budget.spent();
+  result.reached_minimum = !budget.exhausted();
+  THRIFTY_ENSURES(fails(result.edges, result.num_vertices));
+  return result;
+}
+
+}  // namespace thrifty::testing

@@ -1,0 +1,40 @@
+// Delta-debugging minimizer for failing crosscheck scenarios.
+//
+// Given an edge list on which a failure predicate holds, shrinks it to a
+// locally minimal witness: classic ddmin over edge chunks (Zeller &
+// Hildebrandt), a single-edge elimination sweep to a fixpoint, then
+// vertex renumbering so the repro is small in both edges and ids.  The
+// predicate must be deterministic — rerun the failing configuration
+// under the exact RunSetup that exposed it (injected faults are; true
+// schedule-dependent failures should be wrapped in a best-of-N
+// predicate by the caller if they flake).
+#pragma once
+
+#include <functional>
+
+#include "graph/types.hpp"
+
+namespace thrifty::testing {
+
+/// Returns true when the failure still reproduces on this graph.
+using FailurePredicate =
+    std::function<bool(const graph::EdgeList&, graph::VertexId)>;
+
+struct MinimizeResult {
+  graph::EdgeList edges;
+  graph::VertexId num_vertices = 0;
+  /// Number of predicate evaluations spent.
+  int evaluations = 0;
+  /// False when the evaluation budget ran out before reaching a local
+  /// minimum (the result still fails the predicate, it is just larger).
+  bool reached_minimum = true;
+};
+
+/// Shrinks `(edges, num_vertices)` — on which `fails` must return true —
+/// to a 1-minimal failing edge list with densely renumbered vertices.
+/// `max_evaluations` bounds the work; the returned witness always fails.
+[[nodiscard]] MinimizeResult minimize_failure(
+    graph::EdgeList edges, graph::VertexId num_vertices,
+    const FailurePredicate& fails, int max_evaluations = 4000);
+
+}  // namespace thrifty::testing

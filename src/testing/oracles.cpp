@@ -1,0 +1,298 @@
+#include "testing/oracles.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "core/union_find.hpp"
+#include "frontier/density.hpp"
+#include "gen/combine.hpp"
+#include "graph/builder.hpp"
+#include "support/parallel.hpp"
+#include "support/random.hpp"
+#include "support/run_config.hpp"
+
+namespace thrifty::testing {
+
+using graph::CsrGraph;
+using graph::Label;
+using graph::VertexId;
+
+std::string RunSetup::describe() const {
+  std::ostringstream out;
+  out << "threads=" << (threads > 0 ? std::to_string(threads) : "default")
+      << " hub_split="
+      << (hub_split_degree > 0 ? std::to_string(hub_split_degree) : "auto")
+      << " threshold="
+      << (density_threshold ? std::to_string(*density_threshold)
+                            : "default")
+      << " algo_seed=" << algorithm_seed;
+  return out.str();
+}
+
+std::vector<RunSetup> perturbation_matrix() {
+  std::vector<RunSetup> matrix;
+  // Degree 4 pushes nearly every frontier vertex of the test-sized
+  // scenarios through HubChunks; 1<<30 disables splitting entirely.
+  const std::int64_t hub_degrees[] = {0, 4, std::int64_t{1} << 30};
+  // Thrifty's 1%, DO-LP's 5%, and an extreme that forces push almost
+  // always.  nullopt keeps each entry's registry default.
+  const std::optional<double> thresholds[] = {std::nullopt, 0.01, 0.5};
+  for (const int threads : {1, 2, 4}) {
+    for (const std::int64_t hub : hub_degrees) {
+      for (const auto& threshold : thresholds) {
+        RunSetup setup;
+        setup.threads = threads;
+        setup.hub_split_degree = hub;
+        setup.density_threshold = threshold;
+        matrix.push_back(setup);
+      }
+    }
+  }
+  return matrix;
+}
+
+RunSetup sampled_perturbation(std::uint64_t seed) {
+  const std::vector<RunSetup> matrix = perturbation_matrix();
+  RunSetup setup =
+      matrix[support::hash_mix(seed, 0x9e37ull) % matrix.size()];
+  setup.algorithm_seed = support::hash_mix(seed, 0xa19ull);
+  return setup;
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSplitComponent:
+      return "split";
+    case FaultKind::kMergeComponents:
+      return "merge";
+    case FaultKind::kNone:
+      break;
+  }
+  return "none";
+}
+
+std::optional<FaultKind> parse_fault_kind(const std::string& text) {
+  if (text == "none") return FaultKind::kNone;
+  if (text == "split") return FaultKind::kSplitComponent;
+  if (text == "merge") return FaultKind::kMergeComponents;
+  return std::nullopt;
+}
+
+void apply_fault(FaultKind kind, std::span<Label> labels) {
+  if (kind == FaultKind::kNone || labels.empty()) return;
+  const std::vector<Label> canon = core::canonical_labels(labels);
+  if (kind == FaultKind::kSplitComponent) {
+    // Detach the highest-id member of the largest class.  Requires a
+    // class of at least two vertices — i.e. at least one edge — so the
+    // corruption changes the partition rather than relabelling a
+    // singleton.
+    const core::LargestComponent largest = core::largest_component(canon);
+    if (largest.size < 2) return;
+    Label fresh = 0;
+    for (const Label l : labels) fresh = std::max(fresh, l);
+    for (std::size_t v = labels.size(); v-- > 0;) {
+      if (canon[v] == largest.label) {
+        labels[v] = fresh + 1;
+        return;
+      }
+    }
+  }
+  if (kind == FaultKind::kMergeComponents) {
+    // Relabel the class with the second-smallest canonical label onto
+    // the class with the smallest.  Edge-consistent by construction, so
+    // only the partition comparison (or the component count) catches it.
+    Label first = std::numeric_limits<Label>::max();
+    Label second = std::numeric_limits<Label>::max();
+    for (std::size_t v = 0; v < canon.size(); ++v) {
+      const Label l = canon[v];
+      if (static_cast<std::size_t>(l) != v) continue;  // not a class min
+      if (l < first) {
+        second = first;
+        first = l;
+      } else if (l < second) {
+        second = l;
+      }
+    }
+    if (second == std::numeric_limits<Label>::max()) return;
+    for (std::size_t v = 0; v < canon.size(); ++v) {
+      if (canon[v] == second) labels[v] = first;
+    }
+  }
+}
+
+std::vector<Label> reference_partition(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  core::UnionFind dsu(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : graph.neighbors(v)) {
+      if (u > v) dsu.unite(v, u);
+    }
+  }
+  std::vector<Label> labels(n);
+  for (VertexId v = 0; v < n; ++v) {
+    labels[v] = dsu.find(v);
+  }
+  return core::canonical_labels(labels);
+}
+
+core::CcResult run_under(const baselines::AlgorithmEntry& entry,
+                         const CsrGraph& graph, const RunSetup& setup,
+                         const Fault& fault) {
+  support::RunConfig config = support::run_config();
+  config.hub_split_degree = setup.hub_split_degree;
+  const support::RunConfigOverride config_scope(config);
+  const support::ThreadCountGuard thread_scope(
+      setup.threads > 0 ? setup.threads : support::num_threads());
+
+  core::CcOptions options;
+  options.seed = setup.algorithm_seed;
+  core::CcResult result;
+  if (setup.density_threshold) {
+    options.density_threshold = *setup.density_threshold;
+    result = entry.function(graph, options);
+  } else {
+    result = baselines::run_algorithm(entry, graph, options);
+  }
+  if (fault.kind != FaultKind::kNone && fault.algorithm == entry.name) {
+    apply_fault(fault.kind, {result.labels.data(), result.labels.size()});
+  }
+  return result;
+}
+
+namespace {
+
+std::optional<OracleFailure> disagreement(const std::string& oracle,
+                                          const baselines::AlgorithmEntry& e,
+                                          const std::string& detail) {
+  OracleFailure failure;
+  failure.oracle = oracle;
+  failure.algorithm = std::string(e.name);
+  failure.detail = detail;
+  return failure;
+}
+
+}  // namespace
+
+std::optional<OracleFailure> check_all_algorithms(
+    const CsrGraph& graph, std::span<const Label> reference,
+    const RunSetup& setup, const Fault& fault) {
+  for (const baselines::AlgorithmEntry& entry :
+       baselines::all_algorithms()) {
+    const core::CcResult result = run_under(entry, graph, setup, fault);
+    if (!core::same_partition(result.label_span(), reference)) {
+      std::ostringstream detail;
+      detail << "partition differs from union-find reference ("
+             << core::count_components(result.label_span()) << " vs "
+             << core::count_components(reference) << " components) under "
+             << setup.describe();
+      return disagreement("cross_algorithm", entry, detail.str());
+    }
+  }
+  return std::nullopt;
+}
+
+graph::EdgeList permuted_scenario_edges(const Scenario& scenario,
+                                        std::uint64_t permutation_seed) {
+  const std::vector<VertexId> perm =
+      gen::random_permutation(scenario.num_vertices, permutation_seed);
+  graph::EdgeList edges = scenario.edges;
+  gen::apply_permutation(edges, perm);
+  return edges;
+}
+
+graph::EdgeList augmented_scenario_edges(const Scenario& scenario,
+                                         std::uint64_t extra_edge_seed) {
+  graph::EdgeList edges = scenario.edges;
+  const VertexId n = scenario.num_vertices;
+  if (n < 2) return edges;
+  support::Xoshiro256StarStar rng(
+      support::hash_mix(extra_edge_seed, 0xadded6e5ull));
+  const std::uint64_t extra = 1 + rng.next_below(6);
+  for (std::uint64_t i = 0; i < extra; ++i) {
+    edges.push_back({static_cast<VertexId>(rng.next_below(n)),
+                     static_cast<VertexId>(rng.next_below(n))});
+  }
+  return edges;
+}
+
+const baselines::AlgorithmEntry& monotonicity_entry(
+    std::uint64_t extra_edge_seed) {
+  // Rotate the algorithm under test with the seed so the whole registry
+  // is exercised across a sweep without paying for every entry per
+  // scenario.
+  const auto algorithms = baselines::all_algorithms();
+  return algorithms[support::hash_mix(extra_edge_seed, 0x107ull) %
+                    algorithms.size()];
+}
+
+std::optional<OracleFailure> check_permutation_invariance(
+    const Scenario& scenario, std::span<const Label> reference,
+    const RunSetup& setup, std::uint64_t permutation_seed) {
+  const VertexId n = scenario.num_vertices;
+  const std::vector<VertexId> perm =
+      gen::random_permutation(n, permutation_seed);
+  Scenario permuted = scenario;
+  permuted.edges = permuted_scenario_edges(scenario, permutation_seed);
+  const CsrGraph permuted_graph = build_scenario_graph(permuted);
+
+  std::vector<Label> mapped(n);
+  for (const baselines::AlgorithmEntry& entry :
+       baselines::all_algorithms()) {
+    const core::CcResult result =
+        run_under(entry, permuted_graph, setup, {});
+    const auto labels = result.label_span();
+    for (VertexId v = 0; v < n; ++v) {
+      mapped[v] = labels[perm[v]];
+    }
+    if (!core::same_partition(mapped, reference)) {
+      return disagreement(
+          "permutation", entry,
+          "partition not invariant under vertex-id permutation (seed " +
+              std::to_string(permutation_seed) + ") under " +
+              setup.describe());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> check_edge_addition_monotonicity(
+    const Scenario& scenario, std::span<const Label> reference,
+    const RunSetup& setup, std::uint64_t extra_edge_seed) {
+  const VertexId n = scenario.num_vertices;
+  if (n < 2) return std::nullopt;
+  Scenario augmented = scenario;
+  augmented.edges = augmented_scenario_edges(scenario, extra_edge_seed);
+  const CsrGraph augmented_graph = build_scenario_graph(augmented);
+
+  const baselines::AlgorithmEntry& entry =
+      monotonicity_entry(extra_edge_seed);
+  const core::CcResult result =
+      run_under(entry, augmented_graph, setup, {});
+  const auto labels = result.label_span();
+
+  if (core::count_components(labels) > core::count_components(reference)) {
+    return disagreement("monotonicity", entry,
+                        "adding edges increased the component count under " +
+                            setup.describe());
+  }
+  // Coarsening: all members of each original class share an augmented
+  // label.  `witness[c]` is the augmented label of class c's first member.
+  constexpr Label kUnset = std::numeric_limits<Label>::max();
+  std::vector<Label> witness(n, kUnset);
+  for (VertexId v = 0; v < n; ++v) {
+    const Label original_class = reference[v];
+    if (witness[original_class] == kUnset) {
+      witness[original_class] = labels[v];
+    } else if (witness[original_class] != labels[v]) {
+      return disagreement(
+          "monotonicity", entry,
+          "vertex " + std::to_string(v) +
+              " split away from its component after edge addition under " +
+              setup.describe());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace thrifty::testing

@@ -12,6 +12,7 @@
 #include "core/verify.hpp"
 #include "graph/degree_stats.hpp"
 #include "support/env.hpp"
+#include "support/run_config.hpp"
 
 namespace thrifty::bench {
 namespace {
@@ -114,13 +115,17 @@ TEST(Harness, TimesAndVerifies) {
   EXPECT_TRUE(core::verify_labels(g, timing.last.label_span()).valid);
 }
 
-TEST(Harness, DefaultTrialsRespectsEnv) {
-  ::setenv("THRIFTY_BENCH_TRIALS", "7", 1);
-  EXPECT_EQ(default_trials(), 7);
-  ::setenv("THRIFTY_BENCH_TRIALS", "0", 1);
-  EXPECT_EQ(default_trials(), 1);  // clamped to >= 1
-  ::unsetenv("THRIFTY_BENCH_TRIALS");
-  EXPECT_EQ(default_trials(), 3);
+TEST(Harness, DefaultTrialsFollowsRunConfig) {
+  // THRIFTY_BENCH_TRIALS is snapshotted into the process-wide RunConfig
+  // at first use (parsing and clamping are covered in support_test);
+  // runtime variation goes through RunConfigOverride, never setenv.
+  support::RunConfig config = support::run_config();
+  config.bench_trials = 7;
+  {
+    const support::RunConfigOverride scope(config);
+    EXPECT_EQ(default_trials(), 7);
+  }
+  EXPECT_EQ(default_trials(), support::run_config().bench_trials);
 }
 
 TEST(Harness, DescribeGraphMentionsCounts) {

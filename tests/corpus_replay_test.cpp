@@ -1,0 +1,67 @@
+// Replays the committed regression corpus (tests/corpus/) through the
+// crosscheck harness under the FULL schedule-perturbation matrix.  Any
+// spec that ever exposed a bug lives in the corpus forever; this test is
+// the gate that keeps it fixed.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testing/crosscheck.hpp"
+#include "testing/scenario.hpp"
+
+#ifndef THRIFTY_CORPUS_DIR
+#error "THRIFTY_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace thrifty::testing {
+namespace {
+
+std::vector<std::string> load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  std::vector<std::string> specs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (!line.empty()) specs.push_back(line);
+  }
+  return specs;
+}
+
+std::string corpus_path() {
+  return std::string(THRIFTY_CORPUS_DIR) + "/crosscheck_seeds.txt";
+}
+
+TEST(CorpusReplay, EverySpecParsesAndBuilds) {
+  const std::vector<std::string> specs = load_corpus(corpus_path());
+  ASSERT_GE(specs.size(), 4u) << "corpus should cover the named families";
+  for (const std::string& spec : specs) {
+    const Scenario scenario = scenario_from_spec(spec);
+    EXPECT_EQ(scenario.spec, spec);
+    EXPECT_GT(scenario.num_vertices, 0u) << spec;
+  }
+}
+
+TEST(CorpusReplay, CorpusIsCleanUnderTheFullPerturbationMatrix) {
+  CrosscheckOptions options;
+  options.num_scenarios = 0;  // corpus only
+  options.corpus_specs = load_corpus(corpus_path());
+  options.perturb = CrosscheckOptions::Perturb::kFull;
+  const CrosscheckSummary summary = run_crosscheck(options);
+  EXPECT_EQ(summary.scenarios,
+            static_cast<int>(options.corpus_specs.size()));
+  for (const FailureReport& report : summary.failures) {
+    ADD_FAILURE() << report.repro.scenario_spec << ": "
+                  << report.repro.detail;
+  }
+}
+
+}  // namespace
+}  // namespace thrifty::testing

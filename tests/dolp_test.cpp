@@ -15,6 +15,7 @@
 #include "graph/builder.hpp"
 #include "instrument/run_stats.hpp"
 #include "support/parallel.hpp"
+#include "support/run_config.hpp"
 
 namespace thrifty::core {
 namespace {
@@ -166,11 +167,17 @@ TEST(Dolp, TimeIsRecordedPerIteration) {
   EXPECT_LE(sum, result.stats.total_ms + 1.0);
 }
 
+support::RunConfig with_hub_split(std::int64_t degree) {
+  support::RunConfig config = support::run_config();
+  config.hub_split_degree = degree;
+  return config;
+}
+
 TEST(DolpHubSplit, CorrectWithForcedSplittingAcrossThreadCounts) {
-  // A tiny THRIFTY_HUB_SPLIT_DEGREE forces every fat frontier vertex in
-  // the push iterations through the HubChunks edge-parallel path; the
-  // result must stay the exact component partition at every width.
-  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "8", 1);
+  // A tiny hub-split degree forces every fat frontier vertex in the push
+  // iterations through the HubChunks edge-parallel path; the result must
+  // stay the exact component partition at every width.
+  const support::RunConfigOverride scope(with_hub_split(8));
   const CsrGraph g = skewed_graph(12, 8);
   const CcResult reference = dolp_cc(g);
   ASSERT_TRUE(verify_labels(g, reference.label_span()).valid);
@@ -186,11 +193,10 @@ TEST(DolpHubSplit, CorrectWithForcedSplittingAcrossThreadCounts) {
           << which << " threads=" << threads;
     }
   }
-  ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
 }
 
 TEST(DolpHubSplit, StarPushIterationSplitsWithoutLosingLeaves) {
-  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "16", 1);
+  const support::RunConfigOverride scope(with_hub_split(16));
   const CsrGraph star =
       graph::build_csr(gen::star_edges(4096, 2048)).graph;
   for (const int threads : {1, 2, 4}) {
@@ -200,7 +206,6 @@ TEST(DolpHubSplit, StarPushIterationSplitsWithoutLosingLeaves) {
     EXPECT_EQ(largest_component(result.label_span()).size,
               star.num_vertices());
   }
-  ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
 }
 
 }  // namespace

@@ -327,18 +327,23 @@ TEST(LocalWorklists, ProcessWithStealingSplitNoHubsMatchesPlain) {
 }
 
 TEST(HubSplitThreshold, DefaultIsPerThreadShareWithFloor) {
-  ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
   EXPECT_EQ(hub_split_threshold(1000, 4), 250u);
   EXPECT_EQ(hub_split_threshold(100, 4), 64u);  // floor for tiny graphs
   EXPECT_EQ(hub_split_threshold(1000, 0), 1000u);  // guarded division
 }
 
-TEST(HubSplitThreshold, EnvironmentOverrideWins) {
-  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "7", 1);
-  EXPECT_EQ(hub_split_threshold(1'000'000, 4), 7u);
-  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "0", 1);  // 0 means "use default"
-  EXPECT_EQ(hub_split_threshold(1000, 4), 250u);
-  ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
+TEST(HubSplitThreshold, RunConfigOverrideWins) {
+  support::RunConfig config = support::run_config();
+  config.hub_split_degree = 7;
+  {
+    support::RunConfigOverride scope(config);
+    EXPECT_EQ(hub_split_threshold(1'000'000, 4), 7u);
+  }
+  config.hub_split_degree = 0;  // 0 means "use default"
+  {
+    support::RunConfigOverride scope(config);
+    EXPECT_EQ(hub_split_threshold(1000, 4), 250u);
+  }
 }
 
 TEST(Density, FormulaMatchesPaper) {

@@ -1,0 +1,91 @@
+// Edge cases of the algorithm registry: unknown-key lookup, threshold
+// application in effective_options, and the stable Table-IV ordering
+// that benchmarks and the paper's tables depend on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cc_baselines/registry.hpp"
+#include "core/cc_common.hpp"
+
+namespace thrifty::baselines {
+namespace {
+
+TEST(Registry, FindAlgorithmReturnsNullOnUnknownKey) {
+  EXPECT_EQ(find_algorithm("no_such_algorithm"), nullptr);
+  EXPECT_EQ(find_algorithm(""), nullptr);
+  // Keys are exact: display names and case variants do not resolve.
+  EXPECT_EQ(find_algorithm("Thrifty"), nullptr);
+  EXPECT_EQ(find_algorithm("thrifty "), nullptr);
+}
+
+TEST(Registry, FindAlgorithmResolvesEveryRegisteredKey) {
+  for (const AlgorithmEntry& entry : all_algorithms()) {
+    const AlgorithmEntry* found = find_algorithm(entry.name);
+    ASSERT_NE(found, nullptr) << entry.name;
+    EXPECT_EQ(found, &entry) << entry.name;
+  }
+}
+
+TEST(Registry, PaperAlgorithmsKeepTableFourOrder) {
+  const std::vector<std::string> expected = {"sv",        "bfs_cc", "dolp",
+                                             "jt",        "afforest",
+                                             "thrifty"};
+  const auto paper = paper_algorithms();
+  ASSERT_EQ(paper.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(std::string(paper[i].name), expected[i]) << "column " << i;
+  }
+  // paper_algorithms is a prefix of all_algorithms, so table order and
+  // sweep order never diverge.
+  const auto all = all_algorithms();
+  ASSERT_GE(all.size(), paper.size());
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    EXPECT_EQ(all[i].name, paper[i].name);
+  }
+}
+
+TEST(Registry, EffectiveOptionsAppliesDefaultThresholdForDolpFamily) {
+  const AlgorithmEntry* dolp = find_algorithm("dolp");
+  ASSERT_NE(dolp, nullptr);
+  ASSERT_TRUE(dolp->is_label_propagation);
+  ASSERT_GT(dolp->default_threshold, 0.0);
+
+  core::CcOptions options;
+  const double caller_threshold = options.density_threshold;
+  const core::CcOptions effective = effective_options(*dolp, options);
+  EXPECT_EQ(effective.density_threshold, dolp->default_threshold);
+  EXPECT_NE(effective.density_threshold, caller_threshold)
+      << "test is vacuous if the registry default equals CcOptions's";
+}
+
+TEST(Registry, EffectiveOptionsPassesThroughForNonThresholdEntries) {
+  core::CcOptions options;
+  options.density_threshold = 0.123;
+  options.seed = 99;
+  for (const AlgorithmEntry& entry : all_algorithms()) {
+    if (entry.is_label_propagation && entry.default_threshold > 0.0) {
+      continue;  // covered by the DO-LP-family test above
+    }
+    const core::CcOptions effective = effective_options(entry, options);
+    EXPECT_EQ(effective.density_threshold, 0.123)
+        << entry.name << " must not override a caller threshold";
+    EXPECT_EQ(effective.seed, 99u) << entry.name;
+  }
+}
+
+TEST(Registry, EffectiveOptionsPreservesUnrelatedFields) {
+  const AlgorithmEntry* thrifty = find_algorithm("thrifty");
+  ASSERT_NE(thrifty, nullptr);
+  core::CcOptions options;
+  options.seed = 7;
+  options.instrument = true;
+  const core::CcOptions effective = effective_options(*thrifty, options);
+  EXPECT_EQ(effective.seed, 7u);
+  EXPECT_TRUE(effective.instrument);
+  EXPECT_EQ(effective.density_threshold, thrifty->default_threshold);
+}
+
+}  // namespace
+}  // namespace thrifty::baselines

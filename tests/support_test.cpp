@@ -8,6 +8,7 @@
 
 #include "support/env.hpp"
 #include "support/math.hpp"
+#include "support/run_config.hpp"
 #include "support/parallel.hpp"
 #include "support/random.hpp"
 #include "support/timer.hpp"
@@ -149,17 +150,60 @@ TEST(Env, IntParsesAndFallsBack) {
 }
 
 TEST(Env, ScaleParses) {
-  ::setenv("THRIFTY_SCALE", "tiny", 1);
-  EXPECT_EQ(bench_scale(), Scale::kTiny);
-  ::setenv("THRIFTY_SCALE", "large", 1);
-  EXPECT_EQ(bench_scale(), Scale::kLarge);
-  ::setenv("THRIFTY_SCALE", "garbage", 1);
-  EXPECT_EQ(bench_scale(), Scale::kSmall);
-  ::unsetenv("THRIFTY_SCALE");
-  EXPECT_EQ(bench_scale(), Scale::kSmall);
+  EXPECT_EQ(parse_scale("tiny"), Scale::kTiny);
+  EXPECT_EQ(parse_scale("large"), Scale::kLarge);
+  EXPECT_EQ(parse_scale("garbage"), Scale::kSmall);
+  EXPECT_EQ(parse_scale(""), Scale::kSmall);
   EXPECT_STREQ(to_string(Scale::kTiny), "tiny");
   EXPECT_STREQ(to_string(Scale::kSmall), "small");
   EXPECT_STREQ(to_string(Scale::kLarge), "large");
+}
+
+TEST(RunConfig, FromEnvReadsKnobsAndFallsBack) {
+  // setenv here is safe: these tests run before any parallel region is
+  // active in this process, and run_config_from_env is a pure read.
+  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "17", 1);
+  ::setenv("THRIFTY_SCALE", "large", 1);
+  ::setenv("THRIFTY_BENCH_TRIALS", "5", 1);
+  RunConfig config = run_config_from_env();
+  EXPECT_EQ(config.hub_split_degree, 17);
+  EXPECT_EQ(config.scale, Scale::kLarge);
+  EXPECT_EQ(config.bench_trials, 5);
+
+  ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "-3", 1);  // clamped to 0 (= auto)
+  ::setenv("THRIFTY_SCALE", "garbage", 1);
+  ::setenv("THRIFTY_BENCH_TRIALS", "0", 1);  // at least one trial
+  config = run_config_from_env();
+  EXPECT_EQ(config.hub_split_degree, 0);
+  EXPECT_EQ(config.scale, Scale::kSmall);
+  EXPECT_EQ(config.bench_trials, 1);
+
+  ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
+  ::unsetenv("THRIFTY_SCALE");
+  ::unsetenv("THRIFTY_BENCH_TRIALS");
+  config = run_config_from_env();
+  EXPECT_EQ(config, RunConfig{});
+}
+
+TEST(RunConfig, OverridesNestAndRestore) {
+  const RunConfig original = run_config();
+  {
+    RunConfig outer = original;
+    outer.hub_split_degree = 8;
+    RunConfigOverride outer_scope(outer);
+    EXPECT_EQ(run_config().hub_split_degree, 8);
+    {
+      RunConfig inner = run_config();
+      inner.hub_split_degree = 99;
+      inner.scale = Scale::kTiny;
+      RunConfigOverride inner_scope(inner);
+      EXPECT_EQ(run_config().hub_split_degree, 99);
+      EXPECT_EQ(bench_scale(), Scale::kTiny);
+    }
+    EXPECT_EQ(run_config().hub_split_degree, 8);
+    EXPECT_EQ(run_config().scale, original.scale);
+  }
+  EXPECT_EQ(run_config(), original);
 }
 
 TEST(Parallel, ParallelForVisitsEveryIndex) {

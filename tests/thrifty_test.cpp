@@ -17,6 +17,7 @@
 #include "graph/builder.hpp"
 #include "instrument/run_stats.hpp"
 #include "support/parallel.hpp"
+#include "support/run_config.hpp"
 
 namespace thrifty::core {
 namespace {
@@ -258,14 +259,20 @@ TEST(Thrifty, LabelsAreZeroOrVertexPlusOneValues) {
 // modest hubs take the edge-parallel chunk path.
 class HubSplitGuard {
  public:
-  explicit HubSplitGuard(const char* value) {
-    ::setenv("THRIFTY_HUB_SPLIT_DEGREE", value, 1);
+  explicit HubSplitGuard(std::int64_t degree)
+      : scope_(with_hub_split(degree)) {}
+
+ private:
+  static support::RunConfig with_hub_split(std::int64_t degree) {
+    support::RunConfig config = support::run_config();
+    config.hub_split_degree = degree;
+    return config;
   }
-  ~HubSplitGuard() { ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE"); }
+  support::RunConfigOverride scope_;
 };
 
 TEST(ThriftyHubSplit, StarGraphCorrectAcrossThreadCounts) {
-  const HubSplitGuard env("16");
+  const HubSplitGuard env(16);
   // Star: the centre's 4095-edge adjacency is forced through HubChunks.
   const CsrGraph star = graph::build_csr(gen::star_edges(4096, 9)).graph;
   for (const int threads : {1, 2, 4}) {
@@ -281,7 +288,7 @@ TEST(ThriftyHubSplit, StarGraphCorrectAcrossThreadCounts) {
 TEST(ThriftyHubSplit, SplitAndUnsplitRunsProducePartitionEquivalentLabels) {
   const CsrGraph g = skewed_graph(12, 8);
   const CcResult unsplit = thrifty_cc(g);
-  const HubSplitGuard env("8");
+  const HubSplitGuard env(8);
   for (const int threads : {1, 2, 4}) {
     support::ThreadCountGuard guard(threads);
     const CcResult split = thrifty_cc(g);
@@ -296,7 +303,7 @@ TEST(ThriftyHubSplit, SplitAndUnsplitRunsProducePartitionEquivalentLabels) {
 }
 
 TEST(ThriftyHubSplit, DisconnectedHubsStayInTheirComponents) {
-  const HubSplitGuard env("16");
+  const HubSplitGuard env(16);
   // Two stars that must not merge, plus a path.
   const std::vector<graph::EdgeList> parts{gen::star_edges(512),
                                            gen::star_edges(512),

@@ -1,0 +1,112 @@
+// Differential coverage for core/verify: feed it deliberately corrupted
+// labelings (via testing::apply_fault and hand-rolled mutations) and
+// check each corruption class is rejected with the right diagnostic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cc_baselines/registry.hpp"
+#include "core/cc_common.hpp"
+#include "core/verify.hpp"
+#include "graph/csr_graph.hpp"
+#include "testing/oracles.hpp"
+#include "testing/scenario.hpp"
+
+namespace thrifty::core {
+namespace {
+
+using graph::Label;
+using graph::VertexId;
+
+/// A scenario graph plus a known-good labelling from the reference
+/// union-find, asserted valid up front so every mutation test starts
+/// from a verified baseline.
+class CorruptedLabels : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Many small components (so kMergeComponents has classes to merge)
+    // with trees of >= 2 vertices (so kSplitComponent has one to split).
+    scenario_ = testing::make_all_satellites(11);
+    graph_ = testing::build_scenario_graph(scenario_);
+    labels_ = testing::reference_partition(graph_);
+    const VerifyResult baseline = verify_labels(graph_, labels_);
+    ASSERT_TRUE(baseline.valid) << baseline.message;
+    ASSERT_EQ(baseline.components, true_component_count(graph_));
+  }
+
+  testing::Scenario scenario_;
+  graph::CsrGraph graph_;
+  std::vector<Label> labels_;
+};
+
+TEST_F(CorruptedLabels, SplitComponentBreaksEdgeConsistency) {
+  testing::apply_fault(testing::FaultKind::kSplitComponent, labels_);
+  EXPECT_FALSE(edge_consistent(graph_, labels_));
+  const VerifyResult result = verify_labels(graph_, labels_);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.message, "labels differ across an edge");
+}
+
+TEST_F(CorruptedLabels, MergedComponentsKeepEdgesButFailTheCount) {
+  testing::apply_fault(testing::FaultKind::kMergeComponents, labels_);
+  // The merge relabels whole classes, so every edge still agrees —
+  // only the count comparison against the union-find oracle catches it.
+  EXPECT_TRUE(edge_consistent(graph_, labels_));
+  const VerifyResult result = verify_labels(graph_, labels_);
+  EXPECT_FALSE(result.valid);
+  EXPECT_NE(result.message.find("distinct label count"), std::string::npos)
+      << result.message;
+}
+
+TEST(VerifyCorruption, OffByOneRootRelabelCollidesTwoClasses) {
+  // Vertex 0 is isolated (class label 0); vertices 1-2 share an edge
+  // (class label 1).  An off-by-one root bug relabels class 0 to 0+1=1,
+  // colliding with the other class: every edge still agrees — only the
+  // count comparison against the union-find oracle can reject it.
+  testing::Scenario scenario;
+  scenario.num_vertices = 3;
+  scenario.edges = {{1, 2}};
+  const graph::CsrGraph graph = testing::build_scenario_graph(scenario);
+  std::vector<Label> labels = testing::reference_partition(graph);
+  ASSERT_TRUE(verify_labels(graph, labels).valid);
+  ASSERT_EQ(labels[0], 0u);
+  ASSERT_EQ(labels[1], 1u);
+
+  labels[0] = labels[0] + 1;  // class 0's root drifts onto class 1
+  EXPECT_TRUE(edge_consistent(graph, labels));
+  const VerifyResult result = verify_labels(graph, labels);
+  EXPECT_FALSE(result.valid);
+  EXPECT_NE(result.message.find("distinct label count"), std::string::npos)
+      << result.message;
+}
+
+TEST_F(CorruptedLabels, SizeMismatchIsRejectedBeforeAnyEdgeWork) {
+  labels_.pop_back();
+  const VerifyResult result = verify_labels(graph_, labels_);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.message, "label array size does not match vertex count");
+}
+
+TEST_F(CorruptedLabels, SingleVertexFlipIsCaughtOnItsEdge) {
+  // Flip one endpoint of the bridge; the inconsistency is local.
+  ASSERT_GT(graph_.num_vertices(), 1u);
+  labels_[0] = labels_[0] + 1;
+  EXPECT_FALSE(edge_consistent(graph_, labels_));
+  EXPECT_FALSE(verify_labels(graph_, labels_).valid);
+}
+
+TEST(VerifyAgainstRegistry, EveryAlgorithmsOutputPassesTheVerifier) {
+  const testing::Scenario scenario = testing::make_random(23);
+  const graph::CsrGraph graph = testing::build_scenario_graph(scenario);
+  for (const baselines::AlgorithmEntry& entry :
+       baselines::all_algorithms()) {
+    const CcResult result = baselines::run_algorithm(entry, graph, {});
+    const VerifyResult verdict = verify_labels(graph, result.label_span());
+    EXPECT_TRUE(verdict.valid)
+        << std::string(entry.name) << ": " << verdict.message;
+  }
+}
+
+}  // namespace
+}  // namespace thrifty::core
