@@ -1,7 +1,8 @@
-// Microbenchmarks of the PR's four hot-path optimisations, with the
-// atomic-heavy predecessors kept here as in-tree baselines:
+// Microbenchmarks of the hot-path optimisations, with the previous
+// implementations kept here as in-tree baselines:
 //   * CSR build: per-thread counting sort vs the atomic-degree two-pass
 //     scatter (the previous builder, preserved verbatim below),
+//   * snapshot load: zero-copy mmap vs the copying stream loader,
 //   * push iteration over a star-dominated R-MAT graph: hub-split +
 //     inline frontier mass vs unsplit consumption + serial mass rescan,
 //   * end-to-end thrifty_cc on the twitter stand-in (with and without
@@ -11,6 +12,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,8 @@
 #include "gen/rmat.hpp"
 #include "gen/simple.hpp"
 #include "graph/builder.hpp"
+#include "io/binary_io.hpp"
+#include "io/mmap_io.hpp"
 #include "support/env.hpp"
 #include "support/parallel.hpp"
 #include "support/run_config.hpp"
@@ -269,6 +273,32 @@ int run(int argc, char** argv) {
                    bench::TablePrinter::fmt_ms(optimized_ms),
                    bench::TablePrinter::fmt_ratio(baseline_ms /
                                                   optimized_ms)});
+  }
+
+  // --- Snapshot load: stream loader (read + copy + validate) vs the
+  // zero-copy mmap loader (map + validate).  Same file, same
+  // validation; the delta is the payload copy.
+  {
+    const CsrGraph g = graph::build_csr(edges, id_space).graph;
+    const std::filesystem::path snapshot =
+        std::filesystem::temp_directory_path() /
+        ("thrifty_bench_load_" + std::to_string(rmat_scale) + ".bin");
+    io::write_csr_file(snapshot.string(), g);
+    const double stream_ms = min_time_ms(trials, [&] {
+      const CsrGraph loaded = io::read_csr_file(snapshot.string());
+      if (loaded.num_vertices() != g.num_vertices()) std::abort();
+    });
+    const double mmap_ms = min_time_ms(trials, [&] {
+      const CsrGraph loaded = io::read_csr_mmap(snapshot.string());
+      if (loaded.num_vertices() != g.num_vertices()) std::abort();
+    });
+    std::error_code ec;
+    std::filesystem::remove(snapshot, ec);
+    report.add_comparison("csr_load_snapshot", stream_ms, mmap_ms);
+    table.add_row({"csr_load_snapshot (stream/mmap)",
+                   bench::TablePrinter::fmt_ms(stream_ms),
+                   bench::TablePrinter::fmt_ms(mmap_ms),
+                   bench::TablePrinter::fmt_ratio(stream_ms / mmap_ms)});
   }
 
   // --- Push iteration over the star-dominated graph.

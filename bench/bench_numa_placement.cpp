@@ -1,0 +1,140 @@
+// Placement ablation for the NUMA-aware data path: times the main
+// algorithms under each memory-placement policy (first-touch,
+// interleave, OS default) and compares local-first vs global work
+// stealing.  Prints the detected topology up front; on a single-node
+// machine the policies coincide by construction and the ablation
+// degenerates to a (useful) noise floor measurement.
+// `--json <path>` dumps the numbers for scripts/bench_compare.py.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/harness.hpp"
+#include "bench_common/json_report.hpp"
+#include "bench_common/table_printer.hpp"
+#include "cc_baselines/registry.hpp"
+#include "graph/csr_graph.hpp"
+#include "support/env.hpp"
+#include "support/parallel.hpp"
+#include "support/run_config.hpp"
+#include "support/topology.hpp"
+
+namespace {
+
+using namespace thrifty;  // NOLINT(google-build-using-namespace)
+
+constexpr const char* kDatasets[] = {"twitter", "us_road"};
+constexpr const char* kAlgorithms[] = {"thrifty", "dolp", "lp_pull"};
+
+double time_under(const baselines::AlgorithmEntry& entry,
+                  const graph::CsrGraph& graph,
+                  const support::RunConfig& config) {
+  const support::RunConfigOverride scope(config);
+  return bench::time_algorithm(entry, graph).min_ms;
+}
+
+void print_topology() {
+  const support::NumaTopology& topology = support::system_topology();
+  std::string counts;
+  for (const int c : topology.node_cpu_counts()) {
+    if (!counts.empty()) counts += ",";
+    counts += std::to_string(c);
+  }
+  std::printf("topology: %d node(s), %d cpu(s) [per node: %s]\n",
+              topology.num_nodes, topology.num_cpus(), counts.c_str());
+  if (topology.num_nodes == 1) {
+    std::printf(
+        "single NUMA node: placement policies coincide; deltas below "
+        "measure the noise floor\n");
+  }
+}
+
+int run(int argc, char** argv) {
+  const auto scale = support::bench_scale();
+  bench::print_banner(
+      std::string("NUMA placement ablation (scale: ") +
+      support::to_string(scale) + ", threads: " +
+      std::to_string(support::num_threads()) + ")");
+  print_topology();
+
+  bench::JsonReport report;
+  bench::TablePrinter table({"Dataset", "Algorithm", "First-touch (ms)",
+                             "Interleave (ms)", "OS (ms)"});
+
+  const support::RunConfig base = support::run_config();
+
+  // --- Placement sweep: every policy, every algorithm, every dataset.
+  for (const char* dataset_name : kDatasets) {
+    const auto* spec = bench::find_dataset(dataset_name);
+    if (spec == nullptr) continue;
+    const graph::CsrGraph graph = bench::build_dataset(*spec, scale);
+    std::printf("%s: %s\n", dataset_name,
+                bench::describe_graph(graph).c_str());
+    for (const char* algorithm_name : kAlgorithms) {
+      const auto* entry = baselines::find_algorithm(algorithm_name);
+      if (entry == nullptr) continue;
+
+      support::RunConfig config = base;
+      config.placement = support::Placement::kFirstTouch;
+      const double firsttouch_ms = time_under(*entry, graph, config);
+      config.placement = support::Placement::kInterleave;
+      const double interleave_ms = time_under(*entry, graph, config);
+      config.placement = support::Placement::kOs;
+      const double os_ms = time_under(*entry, graph, config);
+
+      bench::JsonEntry json;
+      json.name = std::string("placement_") + dataset_name + "_" +
+                  algorithm_name;
+      json.metrics = {{"firsttouch_ms", firsttouch_ms},
+                      {"interleave_ms", interleave_ms},
+                      {"os_ms", os_ms}};
+      report.add(std::move(json));
+      table.add_row({dataset_name, algorithm_name,
+                     bench::TablePrinter::fmt_ms(firsttouch_ms),
+                     bench::TablePrinter::fmt_ms(interleave_ms),
+                     bench::TablePrinter::fmt_ms(os_ms)});
+    }
+  }
+  table.print();
+
+  // --- Steal-scope ablation: global (any victim) vs local-first
+  // (same-node victims before remote ones).  Skewed graphs are the
+  // interesting case — hub chunks are what gets stolen.
+  bench::TablePrinter steal_table(
+      {"Dataset", "Algorithm", "Global (ms)", "Local-first (ms)",
+       "Ratio"});
+  for (const char* dataset_name : kDatasets) {
+    const auto* spec = bench::find_dataset(dataset_name);
+    if (spec == nullptr) continue;
+    const graph::CsrGraph graph = bench::build_dataset(*spec, scale);
+    for (const char* algorithm_name : {"thrifty", "dolp"}) {
+      const auto* entry = baselines::find_algorithm(algorithm_name);
+      if (entry == nullptr) continue;
+
+      support::RunConfig config = base;
+      config.numa_steal = support::StealScope::kGlobal;
+      const double global_ms = time_under(*entry, graph, config);
+      config.numa_steal = support::StealScope::kLocal;
+      const double local_ms = time_under(*entry, graph, config);
+
+      report.add_comparison(std::string("steal_") + dataset_name + "_" +
+                                algorithm_name,
+                            global_ms, local_ms);
+      steal_table.add_row({dataset_name, algorithm_name,
+                           bench::TablePrinter::fmt_ms(global_ms),
+                           bench::TablePrinter::fmt_ms(local_ms),
+                           bench::TablePrinter::fmt_ratio(global_ms /
+                                                          local_ms)});
+    }
+  }
+  steal_table.print();
+
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  if (!json_path.empty() && !report.write_file(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

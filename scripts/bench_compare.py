@@ -8,13 +8,16 @@ Two modes:
       baseline (baseline_ms/optimized_ms pairs, as written by
       bench_hotpath_micro) also show their speedup.
 
-  bench_compare.py OLD.json NEW.json [--metric METRIC]
+  bench_compare.py OLD.json NEW.json [--metric METRIC] [--threshold X]
       Match entries by name and report OLD/NEW ratios for METRIC (default:
       every shared numeric metric), plus the geometric mean.  Ratios > 1
-      mean NEW is faster (for time-like metrics).
+      mean NEW is faster (for time-like metrics).  With --threshold X the
+      script exits non-zero when the geomean falls below X — the CI
+      perf-smoke gate (X well below 1.0 tolerates shared-runner noise
+      while catching order-of-magnitude regressions).
 
 Exits non-zero when files are unreadable or no entries match, so CI can
-gate on regressions with a wrapper.
+gate on regressions.
 """
 
 import argparse
@@ -50,7 +53,7 @@ def show_single(doc):
         print(f"  {entry.get('name', '?'):32s} {rendered}")
 
 
-def compare(old_doc, new_doc, metric):
+def compare(old_doc, new_doc, metric, threshold=None):
     old_entries = {e.get("name"): e for e in old_doc["benchmarks"]}
     ratios = []
     print(f"{'benchmark':32s} {'metric':16s} {'old':>10s} {'new':>10s} "
@@ -76,6 +79,9 @@ def compare(old_doc, new_doc, metric):
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
     print(f"\ngeomean old/new over {len(ratios)} time metrics: "
           f"{geomean:.3f}x")
+    if threshold is not None and geomean < threshold:
+        sys.exit(f"error: geomean {geomean:.3f} is below the regression "
+                 f"threshold {threshold:.3f}")
 
 
 def main():
@@ -83,11 +89,17 @@ def main():
     parser.add_argument("reports", nargs="+", help="one or two JSON reports")
     parser.add_argument("--metric", default=None,
                         help="restrict the comparison to one metric name")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fail when the geomean old/new falls below "
+                             "this value (two-report mode only)")
     args = parser.parse_args()
     if len(args.reports) == 1:
+        if args.threshold is not None:
+            parser.error("--threshold requires two report paths")
         show_single(load(args.reports[0]))
     elif len(args.reports) == 2:
-        compare(load(args.reports[0]), load(args.reports[1]), args.metric)
+        compare(load(args.reports[0]), load(args.reports[1]), args.metric,
+                args.threshold)
     else:
         parser.error("expected one or two report paths")
 

@@ -16,7 +16,7 @@ core::CcResult afforest_cc(const graph::CsrGraph& graph,
   const VertexId n = graph.num_vertices();
   core::CcResult result;
   result.stats.algorithm = "afforest";
-  result.labels = core::LabelArray(n);
+  result.labels = core::make_label_array(n);
   core::LabelArray& comp = result.labels;
   support::Timer timer;
   if (n == 0) return result;

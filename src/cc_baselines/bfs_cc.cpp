@@ -133,7 +133,7 @@ core::CcResult bfs_cc(const graph::CsrGraph& graph,
   const VertexId n = graph.num_vertices();
   core::CcResult result;
   result.stats.algorithm = "bfs_cc";
-  result.labels = core::LabelArray(n);
+  result.labels = core::make_label_array(n);
   core::LabelArray& labels = result.labels;
   support::Timer timer;
   if (n == 0) return result;

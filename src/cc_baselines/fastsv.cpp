@@ -15,7 +15,7 @@ core::CcResult fastsv_cc(const graph::CsrGraph& graph,
   const VertexId n = graph.num_vertices();
   core::CcResult result;
   result.stats.algorithm = "fastsv";
-  result.labels = core::LabelArray(n);
+  result.labels = core::make_label_array(n);
   core::LabelArray& f = result.labels;
   support::Timer timer;
   if (n == 0) return result;

@@ -37,7 +37,7 @@ core::CcResult sampled_lp_cc(const graph::CsrGraph& graph,
   const VertexId n = graph.num_vertices();
   core::CcResult result;
   result.stats.algorithm = "sampled_lp";
-  result.labels = core::LabelArray(n);
+  result.labels = core::make_label_array(n);
   support::Timer timer;
   if (n == 0) return result;
 

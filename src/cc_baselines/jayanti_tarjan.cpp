@@ -61,7 +61,7 @@ core::CcResult jayanti_tarjan_cc(const graph::CsrGraph& graph,
   const VertexId n = graph.num_vertices();
   core::CcResult result;
   result.stats.algorithm = "jayanti_tarjan";
-  result.labels = core::LabelArray(n);
+  result.labels = core::make_label_array(n);
   core::LabelArray& parent = result.labels;
   support::Timer timer;
   if (n == 0) return result;

@@ -16,7 +16,7 @@ core::CcResult reference_cc(const graph::CsrGraph& graph,
   const VertexId n = graph.num_vertices();
   core::CcResult result;
   result.stats.algorithm = "reference";
-  result.labels = core::LabelArray(n);
+  result.labels = core::make_label_array(n);
   support::Timer timer;
 
   core::UnionFind dsu(n);

@@ -12,6 +12,8 @@
 #include "graph/csr_graph.hpp"
 #include "graph/types.hpp"
 #include "instrument/run_stats.hpp"
+#include "support/run_config.hpp"
+#include "support/topology.hpp"
 #include "support/uninit_vector.hpp"
 
 namespace thrifty::core {
@@ -19,6 +21,19 @@ namespace thrifty::core {
 /// One label per vertex; uninitialised on allocation so the first touch
 /// happens in the algorithm's parallel initialisation loop.
 using LabelArray = support::UninitVector<graph::Label>;
+
+/// Allocates the per-vertex label array and applies the configured page
+/// placement policy (RunConfig::placement).  Under the default
+/// first-touch policy this is a plain uninitialised allocation — pages
+/// fault in inside the caller's parallel init loop, landing on the node
+/// of the thread that will traverse them; interleave/os pre-touch the
+/// pages here instead (ablation modes for bench_numa_placement).
+[[nodiscard]] inline LabelArray make_label_array(std::uint64_t n) {
+  LabelArray labels(static_cast<std::size_t>(n));
+  support::place_array(labels.data(), labels.size(),
+                       support::run_config().placement);
+  return labels;
+}
 
 struct CcOptions {
   /// Push/pull direction threshold on frontier density.  1% is the value

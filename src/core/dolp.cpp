@@ -36,11 +36,11 @@ CcResult dolp_impl(const CsrGraph& g, const CcOptions& options,
   CcResult result;
   result.stats.algorithm = kUnified ? "dolp_unified" : "dolp";
   result.stats.instrumented = Counters::kEnabled;
-  result.labels = LabelArray(n);
+  result.labels = make_label_array(n);
   if (n == 0) return result;
 
   LabelArray& new_lbs = result.labels;
-  LabelArray old_lbs(kUnified ? 0 : n);
+  LabelArray old_lbs = make_label_array(kUnified ? 0 : n);
 
   Counters counters;
   support::Timer total_timer;
@@ -257,7 +257,7 @@ CcResult lp_pull_cc(const CsrGraph& graph, const CcOptions& options) {
   const VertexId n = graph.num_vertices();
   CcResult result;
   result.stats.algorithm = "lp_pull";
-  result.labels = LabelArray(n);
+  result.labels = make_label_array(n);
   if (n == 0) return result;
   LabelArray& labels = result.labels;
   support::Timer total_timer;

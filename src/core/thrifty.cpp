@@ -113,7 +113,7 @@ CcResult thrifty_impl(const CsrGraph& g, const CcOptions& options,
   CcResult result;
   result.stats.algorithm = variant.describe();
   result.stats.instrumented = Counters::kEnabled;
-  result.labels = LabelArray(n);
+  result.labels = make_label_array(n);
   if (n == 0) return result;
   LabelArray& labels = result.labels;
 

@@ -4,6 +4,21 @@
 
 namespace thrifty::frontier {
 
+void Bitmap::clear() {
+  // Serial below ~2 MiB: the parallel-region overhead beats any
+  // placement or bandwidth win on small frontiers, which clear every
+  // iteration.
+  constexpr std::size_t kParallelWords = std::size_t{1} << 18;
+  if (words_.size() < kParallelWords) {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
 std::uint64_t Bitmap::count() const {
   std::uint64_t total = 0;
 #pragma omp parallel for schedule(static) reduction(+ : total)

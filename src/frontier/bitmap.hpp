@@ -25,9 +25,11 @@ class Bitmap {
 
   [[nodiscard]] std::uint64_t size() const { return num_bits_; }
 
-  void clear() {
-    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
-  }
+  /// Zeroes every word.  Large bitmaps clear in parallel with a static
+  /// schedule, so the constructor's clear() doubles as first-touch
+  /// placement: each page faults in on the node of the thread that will
+  /// scan the same word range during traversal.
+  void clear();
 
   /// Non-atomic set; only safe when no other thread touches this word.
   void set(std::uint64_t bit) {

@@ -9,9 +9,13 @@
 
 namespace thrifty::graph {
 
-CsrGraph::CsrGraph(support::UninitVector<EdgeOffset> offsets,
-                   support::UninitVector<VertexId> neighbors)
-    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+void CsrGraph::rebind_views() {
+  if (keep_alive_ != nullptr) return;  // views already point at storage
+  offsets_ = {offsets_storage_.data(), offsets_storage_.size()};
+  neighbors_ = {neighbors_storage_.data(), neighbors_storage_.size()};
+}
+
+void CsrGraph::check_invariants_and_count_loops() {
   THRIFTY_EXPECTS(!offsets_.empty());
   THRIFTY_EXPECTS(offsets_.front() == 0);
   THRIFTY_EXPECTS(offsets_.back() == neighbors_.size());
@@ -26,6 +30,77 @@ CsrGraph::CsrGraph(support::UninitVector<EdgeOffset> offsets,
     }
   }
   self_loops_ = loops;
+}
+
+CsrGraph::CsrGraph(support::UninitVector<EdgeOffset> offsets,
+                   support::UninitVector<VertexId> neighbors)
+    : offsets_storage_(std::move(offsets)),
+      neighbors_storage_(std::move(neighbors)) {
+  rebind_views();
+  check_invariants_and_count_loops();
+}
+
+CsrGraph::CsrGraph(std::span<const EdgeOffset> offsets,
+                   std::span<const VertexId> neighbors,
+                   std::shared_ptr<const void> keep_alive)
+    : keep_alive_(std::move(keep_alive)),
+      offsets_(offsets),
+      neighbors_(neighbors) {
+  THRIFTY_EXPECTS(keep_alive_ != nullptr);
+  check_invariants_and_count_loops();
+}
+
+CsrGraph::CsrGraph(const CsrGraph& other)
+    : offsets_storage_(other.offsets_storage_),
+      neighbors_storage_(other.neighbors_storage_),
+      keep_alive_(other.keep_alive_),
+      offsets_(other.offsets_),
+      neighbors_(other.neighbors_),
+      self_loops_(other.self_loops_) {
+  rebind_views();
+}
+
+CsrGraph& CsrGraph::operator=(const CsrGraph& other) {
+  if (this == &other) return *this;
+  offsets_storage_ = other.offsets_storage_;
+  neighbors_storage_ = other.neighbors_storage_;
+  keep_alive_ = other.keep_alive_;
+  offsets_ = other.offsets_;
+  neighbors_ = other.neighbors_;
+  self_loops_ = other.self_loops_;
+  rebind_views();
+  return *this;
+}
+
+CsrGraph::CsrGraph(CsrGraph&& other) noexcept
+    : offsets_storage_(std::move(other.offsets_storage_)),
+      neighbors_storage_(std::move(other.neighbors_storage_)),
+      keep_alive_(std::move(other.keep_alive_)),
+      offsets_(other.offsets_),
+      neighbors_(other.neighbors_),
+      self_loops_(other.self_loops_) {
+  // Vector moves transfer the heap buffer, so the source's views remain
+  // valid for the destination; rebind anyway to stay independent of that
+  // guarantee, and reset the source to the empty state.
+  rebind_views();
+  other.offsets_ = {};
+  other.neighbors_ = {};
+  other.self_loops_ = 0;
+}
+
+CsrGraph& CsrGraph::operator=(CsrGraph&& other) noexcept {
+  if (this == &other) return *this;
+  offsets_storage_ = std::move(other.offsets_storage_);
+  neighbors_storage_ = std::move(other.neighbors_storage_);
+  keep_alive_ = std::move(other.keep_alive_);
+  offsets_ = other.offsets_;
+  neighbors_ = other.neighbors_;
+  self_loops_ = other.self_loops_;
+  rebind_views();
+  other.offsets_ = {};
+  other.neighbors_ = {};
+  other.self_loops_ = 0;
+  return *this;
 }
 
 VertexId CsrGraph::max_degree_vertex() const {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,11 @@ namespace thrifty::graph {
 /// direction), matching the |E| neighbour-id entries of §V-A.
 /// `num_undirected_edges()` is that halved, plus any self loops retained.
 /// Built through `GraphBuilder` (see builder.hpp); algorithms only read.
+///
+/// The CSR arrays are either owned (the builder / stream-loader path) or
+/// borrowed from external storage kept alive by a shared holder (the
+/// zero-copy mmap path, io/mmap_io.hpp).  Algorithms cannot tell the
+/// difference: every accessor reads through the same views.
 class CsrGraph {
  public:
   CsrGraph() = default;
@@ -29,6 +35,23 @@ class CsrGraph {
   /// `neighbors.size()`; neighbour ids must be < num_vertices.  Checked.
   CsrGraph(support::UninitVector<EdgeOffset> offsets,
            support::UninitVector<VertexId> neighbors);
+
+  /// Borrows externally owned CSR arrays (e.g. a read-only file mapping);
+  /// `keep_alive` is retained for the graph's lifetime so the backing
+  /// storage cannot disappear from under the views.  Same invariant
+  /// contract as the owning constructor.  Checked.
+  CsrGraph(std::span<const EdgeOffset> offsets,
+           std::span<const VertexId> neighbors,
+           std::shared_ptr<const void> keep_alive);
+
+  // Views alias the owned vectors, so copies and moves must rebind them
+  // onto the destination's storage rather than leaving them pointing at
+  // the source's buffers.
+  CsrGraph(const CsrGraph& other);
+  CsrGraph& operator=(const CsrGraph& other);
+  CsrGraph(CsrGraph&& other) noexcept;
+  CsrGraph& operator=(CsrGraph&& other) noexcept;
+  ~CsrGraph() = default;
 
   [[nodiscard]] VertexId num_vertices() const {
     return offsets_.empty() ? 0
@@ -57,13 +80,17 @@ class CsrGraph {
   /// Raw CSR arrays for algorithms that index manually (partitioners,
   /// instrumented kernels).
   [[nodiscard]] std::span<const EdgeOffset> offsets() const {
-    return {offsets_.data(), offsets_.size()};
+    return offsets_;
   }
   [[nodiscard]] std::span<const VertexId> neighbor_array() const {
-    return {neighbors_.data(), neighbors_.size()};
+    return neighbors_;
   }
 
   [[nodiscard]] bool empty() const { return num_vertices() == 0; }
+
+  /// True when the graph owns its CSR arrays on the heap; false for
+  /// zero-copy views over external storage (a file mapping).
+  [[nodiscard]] bool owns_memory() const { return keep_alive_ == nullptr; }
 
   /// Vertex of maximum degree (smallest id on ties); the planting site of
   /// the zero label.  Precondition: non-empty graph.
@@ -74,8 +101,17 @@ class CsrGraph {
   [[nodiscard]] EdgeOffset self_loop_count() const { return self_loops_; }
 
  private:
-  support::UninitVector<EdgeOffset> offsets_;
-  support::UninitVector<VertexId> neighbors_;
+  /// Parallel invariant sweep shared by both constructors; also counts
+  /// the retained self loops.
+  void check_invariants_and_count_loops();
+  void rebind_views();
+
+  support::UninitVector<EdgeOffset> offsets_storage_;
+  support::UninitVector<VertexId> neighbors_storage_;
+  /// Keeps borrowed backing storage alive; null when arrays are owned.
+  std::shared_ptr<const void> keep_alive_;
+  std::span<const EdgeOffset> offsets_;
+  std::span<const VertexId> neighbors_;
   EdgeOffset self_loops_ = 0;
 };
 

@@ -15,9 +15,7 @@ namespace thrifty::io {
 
 namespace {
 
-constexpr std::array<char, 8> kMagic = {'T', 'H', 'R', 'F',
-                                        'T', 'Y', 'G', '1'};
-constexpr std::uint64_t kHeaderBytes = 24;  // magic + n + m
+constexpr std::uint64_t kHeaderBytes = CsrSnapshotLayout::kHeaderBytes;
 
 void write_raw(std::ostream& out, const void* data, std::size_t bytes) {
   out.write(static_cast<const char*>(data),
@@ -50,8 +48,8 @@ std::optional<std::uint64_t> stream_size(std::istream& in) {
 std::uint64_t violation_byte_offset(const graph::ValidationReport& report,
                                     std::uint64_t n) {
   using graph::CsrViolation;
-  const std::uint64_t offsets_base = kHeaderBytes;
-  const std::uint64_t neighbors_base = kHeaderBytes + (n + 1) * 8;
+  const std::uint64_t offsets_base = CsrSnapshotLayout::offsets_begin();
+  const std::uint64_t neighbors_base = CsrSnapshotLayout::neighbors_begin(n);
   switch (report.first_violation) {
     case CsrViolation::kFirstOffsetNonZero:
       return offsets_base;
@@ -69,43 +67,9 @@ std::uint64_t violation_byte_offset(const graph::ValidationReport& report,
 
 }  // namespace
 
-void write_csr(std::ostream& out, const graph::CsrGraph& graph) {
-  write_raw(out, kMagic.data(), kMagic.size());
-  const std::uint64_t n = graph.num_vertices();
-  const std::uint64_t m = graph.num_directed_edges();
-  write_raw(out, &n, sizeof n);
-  write_raw(out, &m, sizeof m);
-  write_raw(out, graph.offsets().data(), graph.offsets().size_bytes());
-  write_raw(out, graph.neighbor_array().data(),
-            graph.neighbor_array().size_bytes());
-}
-
-void write_csr_file(const std::string& path, const graph::CsrGraph& graph) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw IoError(IoErrorKind::kOpenFailed, "cannot open for write", path);
-  }
-  try {
-    write_csr(out, graph);
-  } catch (const IoError& e) {
-    throw IoError(e.kind(), "binary graph write", path);
-  }
-}
-
-graph::CsrGraph read_csr(std::istream& in, const std::string& context) {
-  const std::optional<std::uint64_t> total_bytes = stream_size(in);
-
-  std::array<char, 8> magic{};
-  read_raw(in, magic.data(), magic.size(), context, 0);
-  if (magic != kMagic) {
-    throw IoError(IoErrorKind::kBadMagic,
-                  "not a THRFTYG1 snapshot", context, 0, 0);
-  }
-  std::uint64_t n = 0;
-  std::uint64_t m = 0;
-  read_raw(in, &n, sizeof n, context, 8);
-  read_raw(in, &m, sizeof m, context, 16);
-
+std::uint64_t validate_snapshot_header(
+    std::uint64_t n, std::uint64_t m,
+    std::optional<std::uint64_t> total_bytes, const std::string& context) {
   // Header sanity before any allocation: n must fit the 4-byte VertexId
   // (which also makes the (n + 1) * 8 below overflow-free), and the
   // declared payload must match the actual stream size exactly, so a
@@ -146,33 +110,85 @@ graph::CsrGraph read_csr(std::istream& in, const std::string& context) {
                     context, 0, *expected);
     }
   }
+  return *expected;
+}
+
+void validate_snapshot_payload(std::span<const graph::EdgeOffset> offsets,
+                               std::span<const graph::VertexId> neighbors,
+                               const std::string& context) {
+  // Payload invariants: verified on the raw arrays, so corrupt data
+  // surfaces as a catchable typed error instead of tripping the CsrGraph
+  // constructor's aborting contract checks.  Symmetry is deliberately not
+  // required of snapshots; validate_csr covers it for callers that care.
+  graph::ValidateOptions vopts;
+  vopts.check_symmetry = false;
+  const graph::ValidationReport report =
+      graph::validate_csr(offsets, neighbors, vopts);
+  if (!report.ok()) {
+    throw IoError(IoErrorKind::kInvariantViolation, report.to_string(),
+                  context, 0,
+                  violation_byte_offset(report, offsets.size() - 1));
+  }
+}
+
+void write_csr(std::ostream& out, const graph::CsrGraph& graph) {
+  write_raw(out, CsrSnapshotLayout::kMagic.data(),
+            CsrSnapshotLayout::kMagic.size());
+  const std::uint64_t n = graph.num_vertices();
+  const std::uint64_t m = graph.num_directed_edges();
+  write_raw(out, &n, sizeof n);
+  write_raw(out, &m, sizeof m);
+  write_raw(out, graph.offsets().data(), graph.offsets().size_bytes());
+  write_raw(out, graph.neighbor_array().data(),
+            graph.neighbor_array().size_bytes());
+}
+
+void write_csr_file(const std::string& path, const graph::CsrGraph& graph) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open for write", path);
+  }
+  try {
+    write_csr(out, graph);
+  } catch (const IoError& e) {
+    throw IoError(e.kind(), "binary graph write", path);
+  }
+}
+
+graph::CsrGraph read_csr(std::istream& in, const std::string& context) {
+  const std::optional<std::uint64_t> total_bytes = stream_size(in);
+
+  std::array<char, 8> magic{};
+  read_raw(in, magic.data(), magic.size(), context, 0);
+  if (magic != CsrSnapshotLayout::kMagic) {
+    throw IoError(IoErrorKind::kBadMagic,
+                  "not a THRFTYG1 snapshot", context, 0, 0);
+  }
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  read_raw(in, &n, sizeof n, context, 8);
+  read_raw(in, &m, sizeof m, context, 16);
+
+  const std::uint64_t expected =
+      validate_snapshot_header(n, m, total_bytes, context);
+  const std::uint64_t offsets_bytes = (n + 1) * sizeof(graph::EdgeOffset);
+  const std::uint64_t neighbors_bytes = m * sizeof(graph::VertexId);
 
   support::UninitVector<graph::EdgeOffset> offsets(
       static_cast<std::size_t>(n) + 1);
   support::UninitVector<graph::VertexId> neighbors(
       static_cast<std::size_t>(m));
   read_raw(in, offsets.data(), offsets_bytes, context, kHeaderBytes);
-  read_raw(in, neighbors.data(), *neighbors_bytes, context,
+  read_raw(in, neighbors.data(), neighbors_bytes, context,
            kHeaderBytes + offsets_bytes);
   if (!total_bytes && in.peek() != std::istream::traits_type::eof()) {
     throw IoError(IoErrorKind::kTrailingGarbage,
                   "bytes past the declared payload", context, 0,
-                  *expected);
+                  expected);
   }
 
-  // Payload invariants: verified here, on the raw arrays, so corrupt data
-  // surfaces as a catchable typed error instead of tripping the CsrGraph
-  // constructor's aborting contract checks.  Symmetry is deliberately not
-  // required of snapshots; validate_csr covers it for callers that care.
-  graph::ValidateOptions vopts;
-  vopts.check_symmetry = false;
-  const graph::ValidationReport report = graph::validate_csr(
-      {offsets.data(), offsets.size()}, {neighbors.data(), neighbors.size()},
-      vopts);
-  if (!report.ok()) {
-    throw IoError(IoErrorKind::kInvariantViolation, report.to_string(),
-                  context, 0, violation_byte_offset(report, n));
-  }
+  validate_snapshot_payload({offsets.data(), offsets.size()},
+                            {neighbors.data(), neighbors.size()}, context);
   return graph::CsrGraph(std::move(offsets), std::move(neighbors));
 }
 

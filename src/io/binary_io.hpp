@@ -16,15 +16,54 @@
 // monotone, offsets[n] == m, neighbour ids < n) — see
 // graph/validate.hpp.  Violations surface as typed IoErrors carrying the
 // byte offset of the offending datum.
+//
+// The same header/size/invariant validation backs both the stream loader
+// here and the zero-copy mmap loader (io/mmap_io.hpp), so the two reject
+// identical malformed inputs with identical IoError kinds.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
+#include <span>
 #include <string>
 
 #include "graph/csr_graph.hpp"
 #include "io/io_error.hpp"
 
 namespace thrifty::io {
+
+/// Byte layout of the THRFTYG1 snapshot, shared by the stream and mmap
+/// loaders.  The header is a deliberate 24 bytes — a multiple of the
+/// 8-byte offset alignment — so a page-aligned mapping of the file can
+/// serve the payload arrays in place without any copy or realignment.
+struct CsrSnapshotLayout {
+  static constexpr std::array<char, 8> kMagic = {'T', 'H', 'R', 'F',
+                                                 'T', 'Y', 'G', '1'};
+  static constexpr std::uint64_t kMagicBytes = kMagic.size();
+  static constexpr std::uint64_t kHeaderBytes = 24;  // magic + n + m
+
+  static constexpr std::uint64_t offsets_begin() { return kHeaderBytes; }
+  static constexpr std::uint64_t neighbors_begin(std::uint64_t n) {
+    return kHeaderBytes + (n + 1) * sizeof(graph::EdgeOffset);
+  }
+};
+
+// The mmap loader overlays typed arrays directly onto the page-aligned
+// mapping, so the payload boundaries must be aligned for their element
+// types.  These are the guarantees docs/FORMATS.md documents; a format
+// change that breaks them must fail the build, not fault at runtime.
+static_assert(sizeof(graph::EdgeOffset) == 8 &&
+                  sizeof(graph::VertexId) == 4,
+              "snapshot layout assumes 8-byte offsets and 4-byte ids");
+static_assert(CsrSnapshotLayout::kHeaderBytes %
+                      alignof(graph::EdgeOffset) ==
+                  0,
+              "offsets payload must start on an 8-byte boundary");
+static_assert(sizeof(graph::EdgeOffset) % alignof(graph::VertexId) == 0,
+              "neighbour payload (header + (n+1)*8) must stay 4-byte "
+              "aligned for every n");
 
 /// Serialises a CSR graph to a stream.  Throws IoError(kWriteFailed).
 void write_csr(std::ostream& out, const graph::CsrGraph& graph);
@@ -43,5 +82,22 @@ void write_csr_file(const std::string& path, const graph::CsrGraph& graph);
 /// Loads a CSR graph from a file.  Throws IoError (see read_csr), plus
 /// kOpenFailed when the file cannot be opened.
 [[nodiscard]] graph::CsrGraph read_csr_file(const std::string& path);
+
+/// Header sanity shared by the stream and mmap loaders: bounds the vertex
+/// count to 32-bit ids, rejects 64-bit size overflow, and cross-checks
+/// the declared payload against `total_bytes` (when known) before any
+/// allocation or page touch.  Returns the expected total byte count.
+/// Throws IoError(kHeaderBounds | kTruncated | kTrailingGarbage).
+[[nodiscard]] std::uint64_t validate_snapshot_header(
+    std::uint64_t n, std::uint64_t m,
+    std::optional<std::uint64_t> total_bytes, const std::string& context);
+
+/// Payload invariants shared by the stream and mmap loaders: runs the
+/// CSR invariant checker (symmetry exempt — snapshots of directed data
+/// are representable) and converts the first violation into an
+/// IoError(kInvariantViolation) carrying its byte offset in the snapshot.
+void validate_snapshot_payload(std::span<const graph::EdgeOffset> offsets,
+                               std::span<const graph::VertexId> neighbors,
+                               const std::string& context);
 
 }  // namespace thrifty::io

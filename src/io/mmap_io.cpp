@@ -1,0 +1,145 @@
+#include "io/mmap_io.hpp"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "io/binary_io.hpp"
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define THRIFTY_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define THRIFTY_HAVE_MMAP 0
+#endif
+
+namespace thrifty::io {
+
+bool mmap_supported() { return THRIFTY_HAVE_MMAP != 0; }
+
+#if THRIFTY_HAVE_MMAP
+
+namespace {
+
+/// RAII read-only file mapping.  The descriptor is closed as soon as the
+/// mapping exists (the mapping holds its own reference to the inode).
+class MappedFile {
+ public:
+  MappedFile(const std::string& path, const MmapOptions& options) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      throw IoError(IoErrorKind::kOpenFailed, "cannot open for read", path);
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw IoError(IoErrorKind::kOpenFailed, "cannot stat", path);
+    }
+    size_ = static_cast<std::uint64_t>(st.st_size);
+    if (size_ > 0) {
+      void* mapping = ::mmap(nullptr, static_cast<std::size_t>(size_),
+                             PROT_READ, MAP_PRIVATE, fd, 0);
+      if (mapping == MAP_FAILED) {
+        ::close(fd);
+        throw IoError(IoErrorKind::kOpenFailed, "mmap failed", path);
+      }
+      data_ = static_cast<const char*>(mapping);
+      if (options.sequential) {
+        ::madvise(mapping, static_cast<std::size_t>(size_),
+                  MADV_SEQUENTIAL);
+      }
+      if (options.willneed) {
+        ::madvise(mapping, static_cast<std::size_t>(size_), MADV_WILLNEED);
+      }
+#ifdef MADV_HUGEPAGE
+      if (options.hugepages) {
+        ::madvise(mapping, static_cast<std::size_t>(size_), MADV_HUGEPAGE);
+      }
+#endif
+    }
+    ::close(fd);
+  }
+
+  ~MappedFile() {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<char*>(data_), static_cast<std::size_t>(size_));
+    }
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const char* data() const { return data_; }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+ private:
+  const char* data_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace
+
+graph::CsrGraph read_csr_mmap(const std::string& path,
+                              const MmapOptions& options) {
+  auto file = std::make_shared<MappedFile>(path, options);
+  const std::uint64_t total = file->size();
+  const char* base = file->data();
+
+  // Header checks mirror read_csr exactly — same kinds, same byte
+  // offsets — so both loaders reject identical inputs identically.
+  // A short file surfaces as kTruncated at the first unreadable byte.
+  if (total < CsrSnapshotLayout::kMagicBytes) {
+    throw IoError(IoErrorKind::kTruncated, "unexpected end of snapshot",
+                  path, 0, total);
+  }
+  if (std::memcmp(base, CsrSnapshotLayout::kMagic.data(),
+                  CsrSnapshotLayout::kMagicBytes) != 0) {
+    throw IoError(IoErrorKind::kBadMagic, "not a THRFTYG1 snapshot", path,
+                  0, 0);
+  }
+  if (total < CsrSnapshotLayout::kHeaderBytes) {
+    throw IoError(IoErrorKind::kTruncated, "unexpected end of snapshot",
+                  path, 0, total);
+  }
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::memcpy(&n, base + 8, sizeof n);
+  std::memcpy(&m, base + 16, sizeof m);
+  (void)validate_snapshot_header(n, m, total, path);
+
+  // The header is 8-byte aligned (static_assert in binary_io.hpp) and
+  // the mapping is page-aligned, so the payload pointers are correctly
+  // aligned for their element types — no copy or fixup needed.
+  const auto* offsets_ptr = static_cast<const graph::EdgeOffset*>(
+      static_cast<const void*>(base + CsrSnapshotLayout::offsets_begin()));
+  const auto* neighbors_ptr = static_cast<const graph::VertexId*>(
+      static_cast<const void*>(base +
+                               CsrSnapshotLayout::neighbors_begin(n)));
+  const std::span<const graph::EdgeOffset> offsets{
+      offsets_ptr, static_cast<std::size_t>(n) + 1};
+  const std::span<const graph::VertexId> neighbors{
+      neighbors_ptr, static_cast<std::size_t>(m)};
+
+  validate_snapshot_payload(offsets, neighbors, path);
+  return graph::CsrGraph(offsets, neighbors, std::move(file));
+}
+
+#else  // !THRIFTY_HAVE_MMAP
+
+graph::CsrGraph read_csr_mmap(const std::string& path,
+                              const MmapOptions& /*options*/) {
+  return read_csr_file(path);
+}
+
+#endif  // THRIFTY_HAVE_MMAP
+
+graph::CsrGraph read_csr_file_auto(const std::string& path,
+                                   bool prefer_mmap) {
+  if (prefer_mmap && mmap_supported()) return read_csr_mmap(path);
+  return read_csr_file(path);
+}
+
+}  // namespace thrifty::io

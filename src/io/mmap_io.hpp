@@ -1,0 +1,57 @@
+// Zero-copy, memory-mapped loading of binary CSR snapshots.
+//
+// `read_csr_mmap` maps the snapshot file read-only and returns a
+// CsrGraph whose offset and neighbour arrays alias the mapping directly
+// — no heap allocation, no copy, and the page cache is shared between
+// processes loading the same graph.  The mapping is kept alive by the
+// returned graph (CsrGraph's keep-alive holder) and unmapped when the
+// last copy of the graph is destroyed.
+//
+// Safety contract: the file size is fstat'd and cross-checked against
+// the header-declared payload *before* any payload page is touched, via
+// exactly the validation the stream loader uses
+// (io::validate_snapshot_header / validate_snapshot_payload).  A
+// malformed or truncated file is rejected with the same typed IoError
+// kinds as io::read_csr — never a SIGBUS from walking past the mapping.
+//
+// On platforms without mmap (or when `mmap_supported()` is false) the
+// loaders here fall back to the stream path transparently.
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "io/io_error.hpp"
+
+namespace thrifty::io {
+
+struct MmapOptions {
+  /// Advise the kernel the payload will be read front to back
+  /// (MADV_SEQUENTIAL: aggressive readahead, early page reclaim).
+  bool sequential = true;
+  /// Request asynchronous pre-fault of the whole mapping
+  /// (MADV_WILLNEED), so the first traversal does not stall on 4 KiB
+  /// page-in granularity.
+  bool willneed = true;
+  /// Request transparent huge pages for the mapping (MADV_HUGEPAGE
+  /// where available): fewer TLB misses on multi-GiB neighbour arrays.
+  /// Off by default — file-backed THP is not universally supported.
+  bool hugepages = false;
+};
+
+/// True when this build can memory-map files (POSIX mmap present).
+[[nodiscard]] bool mmap_supported();
+
+/// Loads a binary CSR snapshot as a zero-copy mapped view.  Throws the
+/// same typed IoErrors as read_csr_file (kOpenFailed, kBadMagic,
+/// kTruncated, kTrailingGarbage, kHeaderBounds, kInvariantViolation).
+/// Falls back to the stream loader when mmap is unavailable.
+[[nodiscard]] graph::CsrGraph read_csr_mmap(const std::string& path,
+                                            const MmapOptions& options = {});
+
+/// Convenience dispatcher for tools: mmap-backed when `prefer_mmap` and
+/// the platform supports it, the copying stream loader otherwise.
+[[nodiscard]] graph::CsrGraph read_csr_file_auto(const std::string& path,
+                                                 bool prefer_mmap);
+
+}  // namespace thrifty::io

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "support/env.hpp"
+#include "support/topology.hpp"
 
 namespace thrifty::support {
 
@@ -26,6 +27,12 @@ struct RunConfig {
   Scale scale = Scale::kSmall;
   /// Benchmark harness trial count (THRIFTY_BENCH_TRIALS), >= 1.
   int bench_trials = 3;
+  /// Page-placement policy for hot arrays (THRIFTY_PLACEMENT:
+  /// firsttouch | interleave | os).
+  Placement placement = Placement::kFirstTouch;
+  /// Work-stealing scope for the partition scheduler
+  /// (THRIFTY_NUMA_STEAL: local | global).
+  StealScope numa_steal = StealScope::kLocal;
 
   friend bool operator==(const RunConfig&, const RunConfig&) = default;
 };

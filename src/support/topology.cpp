@@ -1,0 +1,186 @@
+#include "support/topology.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace thrifty::support {
+
+namespace {
+
+constexpr std::size_t kPageBytes = 4096;
+
+std::optional<int> parse_int(std::string_view text) {
+  int value = 0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value < 0) return std::nullopt;
+  return value;
+}
+
+/// Node id from a directory name of the form "node<k>"; nullopt for
+/// anything else (the sysfs tree also holds "possible", "online", ...).
+std::optional<int> node_id_from_name(const std::string& name) {
+  if (name.rfind("node", 0) != 0) return std::nullopt;
+  return parse_int(std::string_view(name).substr(4));
+}
+
+NumaTopology single_node_fallback() {
+  NumaTopology topology;
+  topology.num_nodes = 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cpus = hw > 0 ? static_cast<int>(hw) : 1;
+  topology.cpus.reserve(static_cast<std::size_t>(cpus));
+  for (int c = 0; c < cpus; ++c) topology.cpus.emplace_back(c, 0);
+  return topology;
+}
+
+}  // namespace
+
+std::vector<int> NumaTopology::node_cpu_counts() const {
+  std::vector<int> counts(static_cast<std::size_t>(num_nodes), 0);
+  for (const auto& [cpu, node] : cpus) {
+    if (node >= 0 && node < num_nodes) {
+      ++counts[static_cast<std::size_t>(node)];
+    }
+  }
+  return counts;
+}
+
+std::vector<int> parse_cpu_list(std::string_view text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string_view chunk = text.substr(pos, comma - pos);
+    // Trim whitespace/newlines around the chunk.
+    while (!chunk.empty() &&
+           (chunk.front() == ' ' || chunk.front() == '\n' ||
+            chunk.front() == '\t' || chunk.front() == '\r')) {
+      chunk.remove_prefix(1);
+    }
+    while (!chunk.empty() &&
+           (chunk.back() == ' ' || chunk.back() == '\n' ||
+            chunk.back() == '\t' || chunk.back() == '\r')) {
+      chunk.remove_suffix(1);
+    }
+    if (!chunk.empty()) {
+      const std::size_t dash = chunk.find('-');
+      if (dash == std::string_view::npos) {
+        if (const auto cpu = parse_int(chunk)) cpus.push_back(*cpu);
+      } else {
+        const auto lo = parse_int(chunk.substr(0, dash));
+        const auto hi = parse_int(chunk.substr(dash + 1));
+        if (lo && hi && *lo <= *hi) {
+          for (int c = *lo; c <= *hi; ++c) cpus.push_back(c);
+        }
+      }
+    }
+    pos = comma + 1;
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+NumaTopology detect_topology(const std::string& sysfs_node_root) {
+  namespace fs = std::filesystem;
+  NumaTopology topology;
+  topology.num_nodes = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(sysfs_node_root, ec)) {
+    const auto node = node_id_from_name(entry.path().filename().string());
+    if (!node) continue;
+    std::ifstream cpulist(entry.path() / "cpulist");
+    if (!cpulist) continue;
+    std::string text((std::istreambuf_iterator<char>(cpulist)),
+                     std::istreambuf_iterator<char>());
+    for (const int cpu : parse_cpu_list(text)) {
+      topology.cpus.emplace_back(cpu, *node);
+    }
+    topology.num_nodes = std::max(topology.num_nodes, *node + 1);
+  }
+  if (ec || topology.num_nodes == 0 || topology.cpus.empty()) {
+    return single_node_fallback();
+  }
+  std::sort(topology.cpus.begin(), topology.cpus.end());
+  return topology;
+}
+
+const NumaTopology& system_topology() {
+  static const NumaTopology topology =
+      detect_topology("/sys/devices/system/node");
+  return topology;
+}
+
+std::vector<int> thread_nodes(const NumaTopology& topology,
+                              int num_threads) {
+  std::vector<int> nodes(
+      static_cast<std::size_t>(std::max(num_threads, 0)));
+  if (topology.cpus.empty()) return nodes;
+  for (std::size_t t = 0; t < nodes.size(); ++t) {
+    nodes[t] = topology.cpus[t % topology.cpus.size()].second;
+  }
+  return nodes;
+}
+
+const char* to_string(Placement placement) {
+  switch (placement) {
+    case Placement::kFirstTouch:
+      return "firsttouch";
+    case Placement::kInterleave:
+      return "interleave";
+    case Placement::kOs:
+      return "os";
+  }
+  return "firsttouch";
+}
+
+const char* to_string(StealScope scope) {
+  return scope == StealScope::kLocal ? "local" : "global";
+}
+
+std::optional<Placement> parse_placement(std::string_view text) {
+  if (text == "firsttouch") return Placement::kFirstTouch;
+  if (text == "interleave") return Placement::kInterleave;
+  if (text == "os") return Placement::kOs;
+  return std::nullopt;
+}
+
+std::optional<StealScope> parse_steal_scope(std::string_view text) {
+  if (text == "local") return StealScope::kLocal;
+  if (text == "global") return StealScope::kGlobal;
+  return std::nullopt;
+}
+
+void place_pages(void* data, std::size_t bytes, Placement placement) {
+  if (data == nullptr || bytes == 0 ||
+      placement == Placement::kFirstTouch) {
+    return;
+  }
+  auto* base = static_cast<volatile char*>(data);
+  const std::size_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+  if (placement == Placement::kInterleave) {
+#pragma omp parallel
+    {
+      const auto stride =
+          static_cast<std::size_t>(omp_get_num_threads());
+      for (std::size_t p = static_cast<std::size_t>(omp_get_thread_num());
+           p < pages; p += stride) {
+        base[p * kPageBytes] = 0;
+      }
+    }
+  } else {  // Placement::kOs — every page faulted from the calling thread
+    for (std::size_t p = 0; p < pages; ++p) {
+      base[p * kPageBytes] = 0;
+    }
+  }
+}
+
+}  // namespace thrifty::support

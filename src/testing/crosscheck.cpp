@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "io/binary_io.hpp"
+#include "io/mmap_io.hpp"
 #include "support/random.hpp"
 #include "testing/minimize.hpp"
 
@@ -113,8 +115,24 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
     summary.failures.push_back(std::move(report));
   };
 
+  // Scratch snapshot for --mmap-roundtrip, unique per process so
+  // parallel test invocations sharing a temp directory cannot collide.
+  std::filesystem::path roundtrip_path;
+  if (options.mmap_roundtrip && io::mmap_supported()) {
+    std::ostringstream name;
+    name << "cc_crosscheck_roundtrip_" << std::hex
+         << reinterpret_cast<std::uintptr_t>(&summary) << ".bin";
+    roundtrip_path = std::filesystem::temp_directory_path() / name.str();
+  }
+
   const auto process = [&](const Scenario& scenario) {
-    const CsrGraph graph = build_scenario_graph(scenario);
+    CsrGraph graph = build_scenario_graph(scenario);
+    if (!roundtrip_path.empty()) {
+      // The mapped graph must be indistinguishable from the built one;
+      // every oracle below then runs on mmap-backed CSR arrays.
+      io::write_csr_file(roundtrip_path.string(), graph);
+      graph = io::read_csr_mmap(roundtrip_path.string());
+    }
     const std::vector<Label> reference = reference_partition(graph);
 
     std::vector<RunSetup> setups;
@@ -178,6 +196,10 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
     }
     ++summary.scenarios;
     process(make_random(options.base_seed + static_cast<std::uint64_t>(i)));
+  }
+  if (!roundtrip_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(roundtrip_path, ec);
   }
   return summary;
 }

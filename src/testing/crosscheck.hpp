@@ -30,6 +30,12 @@ struct CrosscheckOptions {
   bool permutation_oracle = true;
   bool monotonicity_oracle = true;
 
+  /// Round-trip every scenario graph through a binary snapshot and the
+  /// zero-copy mmap loader before running the oracles, so the whole
+  /// registry executes against mapped (read-only, page-cache-backed)
+  /// CSR arrays.  No-op where mmap is unsupported.
+  bool mmap_roundtrip = false;
+
   /// Shrink failing scenarios with the delta-debugging minimizer.
   bool minimize = true;
   int max_minimize_evaluations = 4000;

@@ -27,6 +27,9 @@ std::string RunSetup::describe() const {
       << (density_threshold ? std::to_string(*density_threshold)
                             : "default")
       << " algo_seed=" << algorithm_seed;
+  if (placement != support::Placement::kFirstTouch) {
+    out << " placement=" << support::to_string(placement);
+  }
   return out.str();
 }
 
@@ -48,6 +51,16 @@ std::vector<RunSetup> perturbation_matrix() {
         matrix.push_back(setup);
       }
     }
+  }
+  // Placement is a pure page-locality knob: sweeping it orthogonally to
+  // the schedule axes would triple the matrix for no extra coverage, so
+  // the non-default policies get one multi-threaded point each.
+  for (const auto placement :
+       {support::Placement::kInterleave, support::Placement::kOs}) {
+    RunSetup setup;
+    setup.threads = 4;
+    setup.placement = placement;
+    matrix.push_back(setup);
   }
   return matrix;
 }
@@ -141,6 +154,7 @@ core::CcResult run_under(const baselines::AlgorithmEntry& entry,
                          const Fault& fault) {
   support::RunConfig config = support::run_config();
   config.hub_split_degree = setup.hub_split_degree;
+  config.placement = setup.placement;
   const support::RunConfigOverride config_scope(config);
   const support::ThreadCountGuard thread_scope(
       setup.threads > 0 ? setup.threads : support::num_threads());

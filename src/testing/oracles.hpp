@@ -27,6 +27,7 @@
 #include "cc_baselines/registry.hpp"
 #include "core/cc_common.hpp"
 #include "graph/csr_graph.hpp"
+#include "support/topology.hpp"
 #include "testing/scenario.hpp"
 
 namespace thrifty::testing {
@@ -45,6 +46,9 @@ struct RunSetup {
   /// Seed forwarded to randomised algorithms (JT priorities, Afforest
   /// sampling).
   std::uint64_t algorithm_seed = 1;
+  /// Page-placement policy for the label arrays.  Placement must never
+  /// change results, so the matrix sweeps it like any other knob.
+  support::Placement placement = support::Placement::kFirstTouch;
 
   [[nodiscard]] std::string describe() const;
 };

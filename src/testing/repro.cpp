@@ -41,6 +41,8 @@ void write_repro(std::ostream& out, const Repro& repro) {
     out << "density_threshold default\n";
   }
   out << "algorithm_seed " << repro.setup.algorithm_seed << "\n";
+  out << "placement " << support::to_string(repro.setup.placement)
+      << "\n";
   out << "fault " << to_string(repro.fault) << "\n";
   out << "vertices " << repro.num_vertices << "\n";
   out << "edges " << repro.edges.size() << "\n";
@@ -92,6 +94,12 @@ Repro read_repro(std::istream& in) {
       }
     } else if (key == "algorithm_seed") {
       repro.setup.algorithm_seed = std::stoull(value);
+    } else if (key == "placement") {
+      // Absent in repro files from before the placement knob existed;
+      // the RunSetup default (firsttouch) covers those.
+      const auto placement = support::parse_placement(value);
+      if (!placement) malformed("unknown placement '" + value + "'");
+      repro.setup.placement = *placement;
     } else if (key == "fault") {
       const auto kind = parse_fault_kind(value);
       if (!kind) malformed("unknown fault kind '" + value + "'");

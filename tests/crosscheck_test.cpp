@@ -60,7 +60,14 @@ TEST(Scenario, GraphPreservesVertexIds) {
 
 TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
   const std::vector<RunSetup> matrix = perturbation_matrix();
-  EXPECT_EQ(matrix.size(), 27u);  // 3 threads x 3 hub degrees x 3 thresholds
+  // 3 threads x 3 hub degrees x 3 thresholds + 2 placement points.
+  EXPECT_EQ(matrix.size(), 29u);
+  EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
+                          [](const RunSetup& s) {
+                            return s.placement !=
+                                   support::Placement::kFirstTouch;
+                          }),
+            2);
   const RunSetup a = sampled_perturbation(5);
   const RunSetup b = sampled_perturbation(5);
   EXPECT_EQ(a.threads, b.threads);
@@ -135,8 +142,8 @@ TEST(Crosscheck, CorpusSpecsRunCleanUnderFullMatrix) {
   const CrosscheckSummary summary = run_crosscheck(options);
   EXPECT_TRUE(summary.clean());
   EXPECT_EQ(summary.scenarios, 2);
-  // 1 default + 27 matrix setups, each running the whole registry.
-  EXPECT_GE(summary.algorithm_runs, 2u * 28u);
+  // 1 default + 29 matrix setups, each running the whole registry.
+  EXPECT_GE(summary.algorithm_runs, 2u * 30u);
 }
 
 class InjectedFault : public ::testing::Test {

@@ -1,0 +1,261 @@
+// Tests for the zero-copy mmap CSR loader: byte-for-byte agreement with
+// the stream loader on valid snapshots, identical typed-error verdicts
+// on malformed ones (every truncation point of a snapshot — the no-SIGBUS
+// contract), keep-alive semantics of mapped graph views, and algorithm
+// execution over mapped CSR arrays.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "cc_baselines/registry.hpp"
+#include "core/cc_common.hpp"
+#include "gen/rmat.hpp"
+#include "gen/simple.hpp"
+#include "graph/builder.hpp"
+#include "io/binary_io.hpp"
+#include "io/io_error.hpp"
+#include "io/mmap_io.hpp"
+
+namespace thrifty::io {
+namespace {
+
+using graph::CsrGraph;
+
+class MmapTempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("thrifty_mmap_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::string write_bytes(const std::string& name,
+                          const std::string& bytes) const {
+    const std::string p = path(name);
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return p;
+  }
+
+  std::filesystem::path dir_;
+};
+
+CsrGraph small_rmat() {
+  gen::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  return graph::build_csr(gen::rmat_edges(params)).graph;
+}
+
+std::string snapshot_bytes(const CsrGraph& graph) {
+  std::ostringstream out(std::ios::binary);
+  write_csr(out, graph);
+  return out.str();
+}
+
+/// One loader's verdict on a file: accepted, or the typed error kind.
+struct Verdict {
+  bool accepted = false;
+  std::optional<IoErrorKind> kind;
+};
+
+Verdict verdict_of(const std::string& file,
+                   CsrGraph (*loader)(const std::string&)) {
+  try {
+    (void)loader(file);
+    return {true, std::nullopt};
+  } catch (const IoError& e) {
+    return {false, e.kind()};
+  }
+}
+
+CsrGraph load_stream(const std::string& file) {
+  return read_csr_file(file);
+}
+CsrGraph load_mmap(const std::string& file) {
+  return read_csr_mmap(file);
+}
+
+void expect_identical_arrays(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  EXPECT_TRUE(std::equal(a.offsets().begin(), a.offsets().end(),
+                         b.offsets().begin(), b.offsets().end()));
+  EXPECT_TRUE(std::equal(a.neighbor_array().begin(),
+                         a.neighbor_array().end(),
+                         b.neighbor_array().begin(),
+                         b.neighbor_array().end()));
+}
+
+TEST_F(MmapTempDir, MappedGraphMatchesStreamLoader) {
+  const CsrGraph original = small_rmat();
+  write_csr_file(path("g.bin"), original);
+  const CsrGraph streamed = read_csr_file(path("g.bin"));
+  const CsrGraph mapped = read_csr_mmap(path("g.bin"));
+  expect_identical_arrays(streamed, mapped);
+  EXPECT_TRUE(streamed.owns_memory());
+  if (mmap_supported()) {
+    EXPECT_FALSE(mapped.owns_memory());
+  }
+}
+
+TEST_F(MmapTempDir, EmptyGraphSnapshotMapsCleanly) {
+  const CsrGraph empty = graph::build_csr(graph::EdgeList{}, 0).graph;
+  write_csr_file(path("empty.bin"), empty);
+  const CsrGraph mapped = read_csr_mmap(path("empty.bin"));
+  EXPECT_EQ(mapped.num_vertices(), 0u);
+  EXPECT_EQ(mapped.num_directed_edges(), 0u);
+}
+
+TEST_F(MmapTempDir, MappedViewSurvivesCopyAndMove) {
+  const CsrGraph original = small_rmat();
+  write_csr_file(path("g.bin"), original);
+  CsrGraph copy;
+  {
+    const CsrGraph mapped = read_csr_mmap(path("g.bin"));
+    copy = mapped;  // shares the keep-alive mapping
+  }
+  // The first view is gone; the mapping must still be alive through the
+  // copy's keep-alive reference.
+  expect_identical_arrays(original, copy);
+
+  CsrGraph moved = std::move(copy);
+  expect_identical_arrays(original, moved);
+}
+
+TEST_F(MmapTempDir, AutoDispatchHonorsPreference) {
+  write_csr_file(path("g.bin"), small_rmat());
+  const CsrGraph streamed = read_csr_file_auto(path("g.bin"), false);
+  EXPECT_TRUE(streamed.owns_memory());
+  const CsrGraph mapped = read_csr_file_auto(path("g.bin"), true);
+  if (mmap_supported()) {
+    EXPECT_FALSE(mapped.owns_memory());
+  }
+  expect_identical_arrays(streamed, mapped);
+}
+
+TEST_F(MmapTempDir, EveryTruncationPointRejectsIdentically) {
+  // The no-SIGBUS contract, exhaustively: for every prefix of a valid
+  // snapshot, the mmap loader must return the stream loader's exact
+  // verdict — never crash, never accept what the stream loader rejects.
+  const CsrGraph g = graph::build_csr(gen::cycle_edges(40)).graph;
+  const std::string bytes = snapshot_bytes(g);
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    const std::string file =
+        write_bytes("prefix.bin", bytes.substr(0, len));
+    const Verdict streamed = verdict_of(file, &load_stream);
+    const Verdict mapped = verdict_of(file, &load_mmap);
+    ASSERT_EQ(streamed.accepted, mapped.accepted)
+        << "prefix length " << len;
+    ASSERT_EQ(streamed.kind, mapped.kind) << "prefix length " << len;
+    if (len == bytes.size()) {
+      EXPECT_TRUE(streamed.accepted);
+    } else {
+      EXPECT_FALSE(streamed.accepted) << "prefix length " << len;
+    }
+  }
+}
+
+TEST_F(MmapTempDir, CorruptionsRejectWithMatchingTypedKinds) {
+  const CsrGraph g = graph::build_csr(gen::cycle_edges(64)).graph;
+  const std::string valid = snapshot_bytes(g);
+
+  struct Case {
+    const char* name;
+    std::string bytes;
+    IoErrorKind expected;
+  };
+  std::vector<Case> cases;
+  {
+    std::string bad_magic = valid;
+    bad_magic[0] = 'X';
+    cases.push_back({"bad magic", bad_magic, IoErrorKind::kBadMagic});
+
+    std::string garbage = valid + "extra";
+    cases.push_back(
+        {"trailing garbage", garbage, IoErrorKind::kTrailingGarbage});
+
+    std::string huge_n = valid;
+    const std::uint64_t n_huge = ~std::uint64_t{0} >> 1;
+    std::memcpy(huge_n.data() + 8, &n_huge, 8);
+    cases.push_back(
+        {"huge vertex count", huge_n, IoErrorKind::kHeaderBounds});
+
+    std::string non_monotone = valid;
+    // Swap the first two offsets (both nonzero for a cycle graph).
+    char tmp[8];
+    std::memcpy(tmp, non_monotone.data() + 24, 8);
+    std::memcpy(non_monotone.data() + 24, non_monotone.data() + 32, 8);
+    std::memcpy(non_monotone.data() + 32, tmp, 8);
+    cases.push_back({"non-monotone offsets", non_monotone,
+                     IoErrorKind::kInvariantViolation});
+
+    std::string bad_neighbor = valid;
+    // Last 4 bytes are a neighbor id; stamp an out-of-range value.
+    const std::uint32_t out_of_range = 0x7fffffff;
+    std::memcpy(bad_neighbor.data() + bad_neighbor.size() - 4,
+                &out_of_range, 4);
+    cases.push_back({"out-of-range neighbor", bad_neighbor,
+                     IoErrorKind::kInvariantViolation});
+  }
+
+  for (const Case& c : cases) {
+    const std::string file = write_bytes("corrupt.bin", c.bytes);
+    const Verdict streamed = verdict_of(file, &load_stream);
+    const Verdict mapped = verdict_of(file, &load_mmap);
+    EXPECT_FALSE(streamed.accepted) << c.name;
+    EXPECT_FALSE(mapped.accepted) << c.name;
+    EXPECT_EQ(streamed.kind, mapped.kind) << c.name;
+    ASSERT_TRUE(streamed.kind.has_value()) << c.name;
+    EXPECT_EQ(*streamed.kind, c.expected) << c.name;
+  }
+}
+
+TEST_F(MmapTempDir, MissingFileIsTypedOpenFailed) {
+  const Verdict mapped = verdict_of(path("nope.bin"), &load_mmap);
+  EXPECT_FALSE(mapped.accepted);
+  ASSERT_TRUE(mapped.kind.has_value());
+  EXPECT_EQ(*mapped.kind, IoErrorKind::kOpenFailed);
+}
+
+TEST_F(MmapTempDir, AlgorithmsRunOnMappedGraphs) {
+  const CsrGraph original = small_rmat();
+  write_csr_file(path("g.bin"), original);
+  const CsrGraph mapped = read_csr_mmap(path("g.bin"));
+
+  const auto* thrifty_entry = baselines::find_algorithm("thrifty");
+  ASSERT_NE(thrifty_entry, nullptr);
+  const core::CcResult from_mapped =
+      baselines::run_algorithm(*thrifty_entry, mapped, {});
+  const core::CcResult from_heap =
+      baselines::run_algorithm(*thrifty_entry, original, {});
+  EXPECT_TRUE(core::same_partition(from_mapped.label_span(),
+                                   from_heap.label_span()));
+}
+
+TEST_F(MmapTempDir, MadviseOptionsDoNotChangeResults) {
+  write_csr_file(path("g.bin"), small_rmat());
+  MmapOptions options;
+  options.sequential = false;
+  options.willneed = false;
+  options.hugepages = true;
+  const CsrGraph tuned = read_csr_mmap(path("g.bin"), options);
+  const CsrGraph plain = read_csr_mmap(path("g.bin"));
+  expect_identical_arrays(tuned, plain);
+}
+
+}  // namespace
+}  // namespace thrifty::io

@@ -1,0 +1,180 @@
+// Tests for NUMA topology detection against injected fake sysfs trees
+// (single-node, dual-node, asymmetric, interleaved cpu ids), the
+// close-binding thread→node model, cpulist parsing, placement policy
+// parsing, and the page-placement helpers.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/topology.hpp"
+#include "support/uninit_vector.hpp"
+
+namespace thrifty::support {
+namespace {
+
+class FakeSysfs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("thrifty_topology_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  void add_node(int node, const std::string& cpulist) {
+    const std::filesystem::path dir =
+        root_ / ("node" + std::to_string(node));
+    std::filesystem::create_directories(dir);
+    std::ofstream out(dir / "cpulist");
+    out << cpulist << "\n";
+  }
+
+  /// Non-node entries the real sysfs tree also contains.
+  void add_noise() {
+    std::filesystem::create_directories(root_ / "possible");
+    std::ofstream(root_ / "online") << "0\n";
+  }
+
+  std::string root() const { return root_.string(); }
+
+  std::filesystem::path root_;
+};
+
+TEST(ParseCpuList, RangesSinglesAndMixtures) {
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("5"), (std::vector<int>{5}));
+  EXPECT_EQ(parse_cpu_list("0-2,8-9,15"),
+            (std::vector<int>{0, 1, 2, 8, 9, 15}));
+  EXPECT_EQ(parse_cpu_list("0-1,1-2"), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ParseCpuList, TrimsWhitespaceAndNewlines) {
+  EXPECT_EQ(parse_cpu_list(" 0-1 , 3 \n"), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(ParseCpuList, SkipsMalformedChunksNonFatally) {
+  EXPECT_EQ(parse_cpu_list("2,x,5-4,7-8,-1"),
+            (std::vector<int>{2, 7, 8}));
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  EXPECT_TRUE(parse_cpu_list("garbage").empty());
+}
+
+TEST_F(FakeSysfs, SingleNodeMachine) {
+  add_node(0, "0-3");
+  add_noise();
+  const NumaTopology topology = detect_topology(root());
+  EXPECT_EQ(topology.num_nodes, 1);
+  EXPECT_EQ(topology.num_cpus(), 4);
+  EXPECT_EQ(topology.node_cpu_counts(), (std::vector<int>{4}));
+  for (const auto& [cpu, node] : topology.cpus) EXPECT_EQ(node, 0);
+}
+
+TEST_F(FakeSysfs, DualNodeMachine) {
+  add_node(0, "0-3");
+  add_node(1, "4-7");
+  const NumaTopology topology = detect_topology(root());
+  EXPECT_EQ(topology.num_nodes, 2);
+  EXPECT_EQ(topology.num_cpus(), 8);
+  EXPECT_EQ(topology.node_cpu_counts(), (std::vector<int>{4, 4}));
+  EXPECT_EQ(topology.cpus[0], (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(topology.cpus[4], (std::pair<int, int>{4, 1}));
+}
+
+TEST_F(FakeSysfs, AsymmetricNodes) {
+  add_node(0, "0-5");
+  add_node(1, "6-7");
+  const NumaTopology topology = detect_topology(root());
+  EXPECT_EQ(topology.num_nodes, 2);
+  EXPECT_EQ(topology.node_cpu_counts(), (std::vector<int>{6, 2}));
+}
+
+TEST_F(FakeSysfs, InterleavedCpuIdsSortAscending) {
+  // SMT-sibling style enumeration: even cpus on node 0, odd on node 1.
+  add_node(0, "0,2,4,6");
+  add_node(1, "1,3,5,7");
+  const NumaTopology topology = detect_topology(root());
+  ASSERT_EQ(topology.num_cpus(), 8);
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_EQ(topology.cpus[static_cast<std::size_t>(c)].first, c);
+    EXPECT_EQ(topology.cpus[static_cast<std::size_t>(c)].second, c % 2);
+  }
+  // Close binding follows cpu-id order, so threads alternate nodes.
+  EXPECT_EQ(thread_nodes(topology, 4), (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST_F(FakeSysfs, MissingTreeFallsBackToSingleNode) {
+  const NumaTopology topology = detect_topology(root() + "/does_not_exist");
+  EXPECT_EQ(topology.num_nodes, 1);
+  EXPECT_GE(topology.num_cpus(), 1);
+}
+
+TEST_F(FakeSysfs, EmptyTreeFallsBackToSingleNode) {
+  add_noise();  // directory exists but holds no node<k> entries
+  const NumaTopology topology = detect_topology(root());
+  EXPECT_EQ(topology.num_nodes, 1);
+  EXPECT_GE(topology.num_cpus(), 1);
+}
+
+TEST_F(FakeSysfs, ThreadNodesModelCloseBindingAndWrap) {
+  add_node(0, "0-3");
+  add_node(1, "4-7");
+  const NumaTopology topology = detect_topology(root());
+  EXPECT_EQ(thread_nodes(topology, 8),
+            (std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1}));
+  // Oversubscription wraps back to the first cpus.
+  EXPECT_EQ(thread_nodes(topology, 10),
+            (std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1, 0, 0}));
+  EXPECT_TRUE(thread_nodes(topology, 0).empty());
+}
+
+TEST(SystemTopology, DetectsAtLeastOneNodeAndCpu) {
+  const NumaTopology& topology = system_topology();
+  EXPECT_GE(topology.num_nodes, 1);
+  EXPECT_GE(topology.num_cpus(), 1);
+  // Cached: repeated calls return the same object.
+  EXPECT_EQ(&system_topology(), &topology);
+}
+
+TEST(PlacementKnobs, ParseAndPrintRoundTrip) {
+  for (const auto placement :
+       {Placement::kFirstTouch, Placement::kInterleave, Placement::kOs}) {
+    const auto parsed = parse_placement(to_string(placement));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, placement);
+  }
+  EXPECT_FALSE(parse_placement("numa-magic").has_value());
+  for (const auto scope : {StealScope::kLocal, StealScope::kGlobal}) {
+    const auto parsed = parse_steal_scope(to_string(scope));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, scope);
+  }
+  EXPECT_FALSE(parse_steal_scope("remote").has_value());
+}
+
+TEST(PlacePages, AllPoliciesLeaveDataWritable) {
+  constexpr std::size_t kCount = 3 * 4096 + 17;
+  for (const auto placement :
+       {Placement::kFirstTouch, Placement::kInterleave, Placement::kOs}) {
+    UninitVector<unsigned char> buffer(kCount);
+    place_array(buffer.data(), buffer.size(), placement);
+    std::memset(buffer.data(), 0xAB, buffer.size());
+    EXPECT_EQ(buffer[0], 0xAB);
+    EXPECT_EQ(buffer[kCount - 1], 0xAB);
+  }
+}
+
+TEST(PlacePages, ToleratesEmptyAndNull) {
+  place_pages(nullptr, 0, Placement::kInterleave);
+  place_pages(nullptr, 4096, Placement::kOs);  // null data: no-op
+  UninitVector<unsigned char> buffer(16);
+  place_pages(buffer.data(), 0, Placement::kOs);
+}
+
+}  // namespace
+}  // namespace thrifty::support

@@ -13,6 +13,7 @@
 //                 [--no-permutation] [--no-monotonicity]
 //                 [--max-failures=N] [--inject=split|merge]
 //                 [--inject-into=ALGO] [--list-families]
+//                 [--mmap-roundtrip]
 //   cc_crosscheck --replay=FILE       (exit 1 iff the repro reproduces)
 #include <cstdio>
 #include <fstream>
@@ -34,6 +35,7 @@ constexpr const char* kUsage =
     "                     [--no-permutation] [--no-monotonicity]\n"
     "                     [--max-failures=N] [--inject=split|merge]\n"
     "                     [--inject-into=ALGO] [--list-families]\n"
+    "                     [--mmap-roundtrip]\n"
     "       cc_crosscheck --replay=FILE\n";
 
 std::vector<std::string> read_corpus(const std::string& path) {
@@ -81,7 +83,8 @@ int run(int argc, char** argv) {
   const auto unknown = args.unknown_flags(
       {"scenarios", "seed", "perturb", "corpus", "repro-dir", "no-minimize",
        "no-permutation", "no-monotonicity", "max-failures", "inject",
-       "inject-into", "list-families", "replay", "help"});
+       "inject-into", "list-families", "mmap-roundtrip", "replay",
+       "help"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n%s", unknown.front().c_str(),
                  kUsage);
@@ -107,6 +110,7 @@ int run(int argc, char** argv) {
   options.minimize = !args.has_flag("no-minimize");
   options.permutation_oracle = !args.has_flag("no-permutation");
   options.monotonicity_oracle = !args.has_flag("no-monotonicity");
+  options.mmap_roundtrip = args.has_flag("mmap-roundtrip");
   if (const auto dir = args.flag("repro-dir")) options.repro_dir = *dir;
   if (const auto corpus = args.flag("corpus")) {
     options.corpus_specs = read_corpus(*corpus);

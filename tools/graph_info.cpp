@@ -2,8 +2,15 @@
 // statistics, power-law classification, component census, giant-component
 // coverage (the Table I quantities), and a log2 degree histogram.
 //
-//   graph_info <graph|gen:spec> [--histogram] [--components]
+//   graph_info <graph|gen:spec> [--histogram] [--components] [--memory]
+//              [--mmap]
+//
+// --memory prints per-array byte sizes, whether the graph owns its
+// memory (vs aliasing a mapping), and the process resident set — with
+// --mmap on a .bin snapshot the RSS line shows the zero-copy win.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -16,23 +23,61 @@ namespace {
 
 using namespace thrifty;  // NOLINT(google-build-using-namespace)
 
+/// Resident set size in KiB from /proc/self/status; 0 where unavailable
+/// (non-Linux).
+std::uint64_t resident_kib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream in(line.substr(6));
+      std::uint64_t kib = 0;
+      in >> kib;
+      return kib;
+    }
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const tools::ArgParser args(argc, argv);
   if (args.positional().size() != 1 || args.has_flag("help")) {
     std::fprintf(stderr,
                  "usage: graph_info <graph|gen:spec> [--histogram] "
-                 "[--components]\n");
+                 "[--components] [--memory] [--mmap]\n");
     return args.has_flag("help") ? 0 : 2;
   }
   const auto unknown =
-      args.unknown_flags({"histogram", "components", "help"});
+      args.unknown_flags({"histogram", "components", "memory", "mmap",
+                          "help"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
     return 2;
   }
 
-  const graph::CsrGraph g = tools::load_graph(args.positional()[0]);
+  tools::LoadOptions load_options;
+  load_options.use_mmap = args.has_flag("mmap");
+  const graph::CsrGraph g =
+      tools::load_graph(args.positional()[0], load_options);
   std::printf("size:        %s\n", tools::summarize(g).c_str());
+
+  if (args.has_flag("memory")) {
+    const auto offsets_bytes =
+        (static_cast<std::uint64_t>(g.num_vertices()) + 1) *
+        sizeof(graph::EdgeOffset);
+    const auto neighbors_bytes =
+        g.num_directed_edges() * sizeof(graph::VertexId);
+    std::printf("memory:      offsets %.1f MiB, neighbors %.1f MiB "
+                "(%s)\n",
+                static_cast<double>(offsets_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(neighbors_bytes) / (1024.0 * 1024.0),
+                g.owns_memory() ? "heap-owned"
+                                : "zero-copy mapped view");
+    if (const auto rss = resident_kib(); rss > 0) {
+      std::printf("resident:    %.1f MiB (VmRSS)\n",
+                  static_cast<double>(rss) / 1024.0);
+    }
+  }
 
   const auto stats = graph::compute_degree_stats(g);
   std::printf("degrees:     min %llu, median %.1f, mean %.2f, max %llu\n",

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -16,6 +19,7 @@
 #include "io/edge_list_io.hpp"
 #include "io/io_error.hpp"
 #include "io/matrix_market_io.hpp"
+#include "io/mmap_io.hpp"
 #include "support/random.hpp"
 
 namespace thrifty::tools {
@@ -231,18 +235,98 @@ void apply_mutation(std::string& bytes, Format format, Mutation mutation,
 /// Typed rejections arrive as IoError exceptions, not as an outcome.
 enum class Outcome { kAcceptedValid, kAcceptedUnbuilt, kContractBreak };
 
+/// Scratch path for mmap differentials, unique per process.
+const std::filesystem::path& mmap_scratch_path() {
+  static const std::filesystem::path path = [] {
+    std::ostringstream name;
+    name << "thrifty_fuzz_mmap_" << std::hex
+         << reinterpret_cast<std::uintptr_t>(&mmap_scratch_path)
+         << ".bin";
+    return std::filesystem::temp_directory_path() / name.str();
+  }();
+  return path;
+}
+
+/// Differential over the zero-copy loader: read_csr_mmap over the same
+/// bytes must agree with the stream loader's verdict — identical arrays
+/// on acceptance, the same typed IoError kind on rejection.  Returns a
+/// failure description, or "" when the loaders agree.
+std::string check_mmap_agrees(const std::string& bytes,
+                              const std::optional<CsrGraph>& stream_graph,
+                              const std::optional<io::IoError>& stream_error) {
+  if (!io::mmap_supported()) return "";
+  const std::filesystem::path& path = mmap_scratch_path();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return "mmap differential: cannot write scratch file";
+  }
+  std::string verdict;
+  try {
+    const CsrGraph mapped = io::read_csr_mmap(path.string());
+    if (stream_error) {
+      verdict = std::string("mmap loader accepted bytes the stream "
+                            "loader rejected with ") +
+                io::to_string(stream_error->kind());
+    } else if (!std::equal(mapped.offsets().begin(),
+                           mapped.offsets().end(),
+                           stream_graph->offsets().begin(),
+                           stream_graph->offsets().end()) ||
+               !std::equal(mapped.neighbor_array().begin(),
+                           mapped.neighbor_array().end(),
+                           stream_graph->neighbor_array().begin(),
+                           stream_graph->neighbor_array().end())) {
+      verdict = "mmap loader produced different CSR arrays than the "
+                "stream loader";
+    }
+  } catch (const io::IoError& e) {
+    if (!stream_error) {
+      verdict = std::string("mmap loader rejected (") +
+                io::to_string(e.kind()) +
+                ") bytes the stream loader accepted";
+    } else if (e.kind() != stream_error->kind()) {
+      verdict = std::string("error kind mismatch: stream ") +
+                io::to_string(stream_error->kind()) + ", mmap " +
+                io::to_string(e.kind());
+    }
+  } catch (const std::exception& e) {
+    verdict = std::string("mmap loader threw untyped exception: ") +
+              e.what();
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  return verdict;
+}
+
 Outcome evaluate(Format format, const std::string& bytes,
                  std::string& detail) {
   switch (format) {
     case Format::kBinary: {
-      std::istringstream in(bytes, std::ios::binary);
-      const CsrGraph g = io::read_csr(in, "<fuzz>");
+      std::optional<CsrGraph> stream_graph;
+      std::optional<io::IoError> stream_error;
+      try {
+        std::istringstream in(bytes, std::ios::binary);
+        stream_graph.emplace(io::read_csr(in, "<fuzz>"));
+      } catch (const io::IoError& e) {
+        stream_error.emplace(e);
+      }
+      // Zero-copy differential: every buffer the fuzzer produces also
+      // runs through read_csr_mmap, which must match the stream loader
+      // byte for byte.
+      if (std::string mismatch =
+              check_mmap_agrees(bytes, stream_graph, stream_error);
+          !mismatch.empty()) {
+        detail = std::move(mismatch);
+        return Outcome::kContractBreak;
+      }
+      if (stream_error) throw *stream_error;
       // The loader guarantees the structural invariants; re-check via the
       // independent validator (symmetry exempt: snapshots of directed
       // data are representable, and mutations may legally break it).
       graph::ValidateOptions opts;
       opts.check_symmetry = false;
-      const auto report = graph::validate_csr(g, opts);
+      const auto report = graph::validate_csr(*stream_graph, opts);
       if (!report.ok()) {
         detail = "loader accepted an invalid CSR: " + report.to_string();
         return Outcome::kContractBreak;

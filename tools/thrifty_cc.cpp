@@ -2,11 +2,14 @@
 //
 //   thrifty_cc <graph> [--algo=thrifty] [--threshold=0.01] [--trials=1]
 //              [--out=labels.txt] [--verify] [--stats] [--list]
+//              [--mmap] [--placement=firsttouch|interleave|os]
 //
 // <graph> is a file (.el/.txt edge list, .bin binary CSR, .mtx Matrix
 // Market) or a generator spec (gen:rmat:scale=16,ef=16 — see
 // tools/tool_common.hpp).  --out writes one "vertex label" line per
-// vertex.  --list prints the available algorithms and exits.
+// vertex.  --list prints the available algorithms and exits.  --mmap
+// loads .bin snapshots as zero-copy mapped views; --placement selects
+// the page-placement policy for the label arrays.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -16,6 +19,7 @@
 #include "cc_baselines/registry.hpp"
 #include "core/verify.hpp"
 #include "instrument/run_stats.hpp"
+#include "support/run_config.hpp"
 #include "tools/tool_common.hpp"
 
 namespace {
@@ -36,19 +40,37 @@ int run(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: thrifty_cc <graph|gen:spec> [--algo=thrifty] "
                  "[--threshold=T] [--trials=N] [--out=FILE] [--verify] "
-                 "[--stats] [--list]\n");
+                 "[--stats] [--list] [--mmap] [--placement=P]\n");
     return args.has_flag("help") ? 0 : 2;
   }
   const auto unknown = args.unknown_flags(
       {"algo", "threshold", "trials", "out", "verify", "stats", "list",
-       "help"});
+       "help", "mmap", "placement"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
     return 2;
   }
 
-  const graph::CsrGraph g = tools::load_graph(args.positional()[0]);
-  std::fprintf(stderr, "loaded: %s\n", tools::summarize(g).c_str());
+  support::RunConfig config = support::run_config();
+  if (const auto text = args.flag("placement")) {
+    const auto placement = support::parse_placement(*text);
+    if (!placement) {
+      std::fprintf(stderr,
+                   "unknown placement '%s' "
+                   "(expected firsttouch | interleave | os)\n",
+                   text->c_str());
+      return 2;
+    }
+    config.placement = *placement;
+  }
+  const support::RunConfigOverride config_scope(config);
+
+  tools::LoadOptions load_options;
+  load_options.use_mmap = args.has_flag("mmap");
+  const graph::CsrGraph g =
+      tools::load_graph(args.positional()[0], load_options);
+  std::fprintf(stderr, "loaded: %s%s\n", tools::summarize(g).c_str(),
+               g.owns_memory() ? "" : " [mmap]");
 
   const std::string algo_name = args.flag("algo").value_or("thrifty");
   const auto* entry = baselines::find_algorithm(algo_name);

@@ -14,6 +14,7 @@
 #include "graph/builder.hpp"
 #include "io/binary_io.hpp"
 #include "io/edge_list_io.hpp"
+#include "io/mmap_io.hpp"
 #include "io/matrix_market_io.hpp"
 
 namespace thrifty::tools {
@@ -159,12 +160,13 @@ bool ends_with(const std::string& text, const std::string& suffix) {
 
 }  // namespace
 
-graph::CsrGraph load_graph(const std::string& source) {
+graph::CsrGraph load_graph(const std::string& source,
+                           const LoadOptions& options) {
   if (source.rfind("gen:", 0) == 0) {
     return build_from_generator(source.substr(4));
   }
   if (ends_with(source, ".bin")) {
-    return io::read_csr_file(source);
+    return io::read_csr_file_auto(source, options.use_mmap);
   }
   if (ends_with(source, ".mtx")) {
     const auto mm = io::read_matrix_market_file(source);

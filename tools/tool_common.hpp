@@ -38,6 +38,14 @@ class ArgParser {
   std::vector<std::pair<std::string, std::string>> flags_;
 };
 
+struct LoadOptions {
+  /// Load .bin CSR snapshots as zero-copy mapped views (io::read_csr_mmap)
+  /// instead of copying through the stream loader.  Ignored for formats
+  /// that must be parsed and rebuilt (edge lists, Matrix Market,
+  /// generator specs).
+  bool use_mmap = false;
+};
+
 /// Loads a graph from a path (.el/.txt edge list, .bin binary CSR,
 /// .mtx Matrix Market) or builds one from a generator spec of the form
 ///   gen:rmat:scale=14,ef=16[,seed=3]
@@ -46,7 +54,8 @@ class ArgParser {
 ///   gen:er:n=65536,m=1048576
 ///   gen:dataset:<name>        (the Table II stand-ins, THRIFTY_SCALE)
 /// Throws std::runtime_error with a usable message on failure.
-[[nodiscard]] graph::CsrGraph load_graph(const std::string& source);
+[[nodiscard]] graph::CsrGraph load_graph(const std::string& source,
+                                         const LoadOptions& options = {});
 
 /// Human-oriented one-line summary.
 [[nodiscard]] std::string summarize(const graph::CsrGraph& graph);
