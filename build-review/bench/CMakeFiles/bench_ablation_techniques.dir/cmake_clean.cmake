@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_techniques.dir/bench_ablation_techniques.cpp.o"
+  "CMakeFiles/bench_ablation_techniques.dir/bench_ablation_techniques.cpp.o.d"
+  "bench_ablation_techniques"
+  "bench_ablation_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

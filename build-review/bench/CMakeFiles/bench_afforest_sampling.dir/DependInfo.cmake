@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_afforest_sampling.cpp" "bench/CMakeFiles/bench_afforest_sampling.dir/bench_afforest_sampling.cpp.o" "gcc" "bench/CMakeFiles/bench_afforest_sampling.dir/bench_afforest_sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/reorder/CMakeFiles/thrifty_reorder.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dist/CMakeFiles/thrifty_dist.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bench_common/CMakeFiles/thrifty_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/testing/CMakeFiles/thrifty_testing.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gen/CMakeFiles/thrifty_gen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/thrifty_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cc_baselines/CMakeFiles/thrifty_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spmv/CMakeFiles/thrifty_spmv.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/thrifty_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/frontier/CMakeFiles/thrifty_frontier.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/thrifty_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/thrifty_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/instrument/CMakeFiles/thrifty_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/thrifty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_afforest_sampling.dir/bench_afforest_sampling.cpp.o"
+  "CMakeFiles/bench_afforest_sampling.dir/bench_afforest_sampling.cpp.o.d"
+  "bench_afforest_sampling"
+  "bench_afforest_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_afforest_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_afforest_sampling.
+# This may be replaced when dependencies are built.

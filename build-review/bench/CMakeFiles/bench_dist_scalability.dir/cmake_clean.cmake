@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dist_scalability.dir/bench_dist_scalability.cpp.o"
+  "CMakeFiles/bench_dist_scalability.dir/bench_dist_scalability.cpp.o.d"
+  "bench_dist_scalability"
+  "bench_dist_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dist_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

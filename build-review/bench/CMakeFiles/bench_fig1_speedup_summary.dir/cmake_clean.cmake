@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_speedup_summary.dir/bench_fig1_speedup_summary.cpp.o"
+  "CMakeFiles/bench_fig1_speedup_summary.dir/bench_fig1_speedup_summary.cpp.o.d"
+  "bench_fig1_speedup_summary"
+  "bench_fig1_speedup_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_speedup_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_convergence_dolp.dir/bench_fig3_convergence_dolp.cpp.o"
+  "CMakeFiles/bench_fig3_convergence_dolp.dir/bench_fig3_convergence_dolp.cpp.o.d"
+  "bench_fig3_convergence_dolp"
+  "bench_fig3_convergence_dolp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_convergence_dolp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

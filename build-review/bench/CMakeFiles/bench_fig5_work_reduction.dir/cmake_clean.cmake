@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_work_reduction.dir/bench_fig5_work_reduction.cpp.o"
+  "CMakeFiles/bench_fig5_work_reduction.dir/bench_fig5_work_reduction.cpp.o.d"
+  "bench_fig5_work_reduction"
+  "bench_fig5_work_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_work_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

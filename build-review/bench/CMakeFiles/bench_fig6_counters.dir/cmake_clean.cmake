@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_counters.dir/bench_fig6_counters.cpp.o"
+  "CMakeFiles/bench_fig6_counters.dir/bench_fig6_counters.cpp.o.d"
+  "bench_fig6_counters"
+  "bench_fig6_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

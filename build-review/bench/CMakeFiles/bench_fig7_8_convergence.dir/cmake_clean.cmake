@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_convergence.dir/bench_fig7_8_convergence.cpp.o"
+  "CMakeFiles/bench_fig7_8_convergence.dir/bench_fig7_8_convergence.cpp.o.d"
+  "bench_fig7_8_convergence"
+  "bench_fig7_8_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hotpath_micro.dir/bench_hotpath_micro.cpp.o"
+  "CMakeFiles/bench_hotpath_micro.dir/bench_hotpath_micro.cpp.o.d"
+  "bench_hotpath_micro"
+  "bench_hotpath_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotpath_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

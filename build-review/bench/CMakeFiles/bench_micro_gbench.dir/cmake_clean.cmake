@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_gbench.dir/bench_micro_gbench.cpp.o"
+  "CMakeFiles/bench_micro_gbench.dir/bench_micro_gbench.cpp.o.d"
+  "bench_micro_gbench"
+  "bench_micro_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

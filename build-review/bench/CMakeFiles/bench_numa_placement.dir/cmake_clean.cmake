@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_numa_placement.dir/bench_numa_placement.cpp.o"
+  "CMakeFiles/bench_numa_placement.dir/bench_numa_placement.cpp.o.d"
+  "bench_numa_placement"
+  "bench_numa_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numa_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

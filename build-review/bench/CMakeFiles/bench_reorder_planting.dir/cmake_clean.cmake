@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reorder_planting.dir/bench_reorder_planting.cpp.o"
+  "CMakeFiles/bench_reorder_planting.dir/bench_reorder_planting.cpp.o.d"
+  "bench_reorder_planting"
+  "bench_reorder_planting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorder_planting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

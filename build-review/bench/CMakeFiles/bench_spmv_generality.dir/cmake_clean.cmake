@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmv_generality.dir/bench_spmv_generality.cpp.o"
+  "CMakeFiles/bench_spmv_generality.dir/bench_spmv_generality.cpp.o.d"
+  "bench_spmv_generality"
+  "bench_spmv_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmv_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_spmv_generality.
+# This may be replaced when dependencies are built.

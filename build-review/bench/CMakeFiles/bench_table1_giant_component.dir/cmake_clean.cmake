@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_giant_component.dir/bench_table1_giant_component.cpp.o"
+  "CMakeFiles/bench_table1_giant_component.dir/bench_table1_giant_component.cpp.o.d"
+  "bench_table1_giant_component"
+  "bench_table1_giant_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_giant_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

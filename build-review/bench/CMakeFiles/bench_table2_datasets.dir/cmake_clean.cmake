@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_datasets.dir/bench_table2_datasets.cpp.o"
+  "CMakeFiles/bench_table2_datasets.dir/bench_table2_datasets.cpp.o.d"
+  "bench_table2_datasets"
+  "bench_table2_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_runtimes.dir/bench_table4_runtimes.cpp.o"
+  "CMakeFiles/bench_table4_runtimes.dir/bench_table4_runtimes.cpp.o.d"
+  "bench_table4_runtimes"
+  "bench_table4_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

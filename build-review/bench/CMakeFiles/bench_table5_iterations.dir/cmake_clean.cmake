@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_iterations.dir/bench_table5_iterations.cpp.o"
+  "CMakeFiles/bench_table5_iterations.dir/bench_table5_iterations.cpp.o.d"
+  "bench_table5_iterations"
+  "bench_table5_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

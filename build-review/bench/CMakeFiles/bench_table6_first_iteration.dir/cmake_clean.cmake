@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_first_iteration.dir/bench_table6_first_iteration.cpp.o"
+  "CMakeFiles/bench_table6_first_iteration.dir/bench_table6_first_iteration.cpp.o.d"
+  "bench_table6_first_iteration"
+  "bench_table6_first_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_first_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

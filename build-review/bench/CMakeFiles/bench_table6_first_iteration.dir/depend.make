@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table6_first_iteration.
+# This may be replaced when dependencies are built.

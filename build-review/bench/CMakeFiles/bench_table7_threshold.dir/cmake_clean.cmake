@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_threshold.dir/bench_table7_threshold.cpp.o"
+  "CMakeFiles/bench_table7_threshold.dir/bench_table7_threshold.cpp.o.d"
+  "bench_table7_threshold"
+  "bench_table7_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_advisor.dir/algorithm_advisor.cpp.o"
+  "CMakeFiles/algorithm_advisor.dir/algorithm_advisor.cpp.o.d"
+  "algorithm_advisor"
+  "algorithm_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for algorithm_advisor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for algorithm_advisor.
+# This may be replaced when dependencies are built.

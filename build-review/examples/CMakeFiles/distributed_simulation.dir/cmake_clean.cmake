@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_simulation.dir/distributed_simulation.cpp.o"
+  "CMakeFiles/distributed_simulation.dir/distributed_simulation.cpp.o.d"
+  "distributed_simulation"
+  "distributed_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

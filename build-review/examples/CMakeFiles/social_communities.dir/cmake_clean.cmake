@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_communities.dir/social_communities.cpp.o"
+  "CMakeFiles/social_communities.dir/social_communities.cpp.o.d"
+  "social_communities"
+  "social_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

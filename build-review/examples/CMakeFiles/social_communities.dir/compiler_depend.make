@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for social_communities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for social_communities.
+# This may be replaced when dependencies are built.

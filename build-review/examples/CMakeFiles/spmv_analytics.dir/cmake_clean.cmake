@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_analytics.dir/spmv_analytics.cpp.o"
+  "CMakeFiles/spmv_analytics.dir/spmv_analytics.cpp.o.d"
+  "spmv_analytics"
+  "spmv_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

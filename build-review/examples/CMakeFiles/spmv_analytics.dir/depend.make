@@ -1,0 +1,2 @@
+# Empty dependencies file for spmv_analytics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront_demo.dir/wavefront_demo.cpp.o"
+  "CMakeFiles/wavefront_demo.dir/wavefront_demo.cpp.o.d"
+  "wavefront_demo"
+  "wavefront_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_graph_pipeline.dir/web_graph_pipeline.cpp.o"
+  "CMakeFiles/web_graph_pipeline.dir/web_graph_pipeline.cpp.o.d"
+  "web_graph_pipeline"
+  "web_graph_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_graph_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_bench_common.dir/datasets.cpp.o"
+  "CMakeFiles/thrifty_bench_common.dir/datasets.cpp.o.d"
+  "CMakeFiles/thrifty_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/thrifty_bench_common.dir/harness.cpp.o.d"
+  "CMakeFiles/thrifty_bench_common.dir/json_report.cpp.o"
+  "CMakeFiles/thrifty_bench_common.dir/json_report.cpp.o.d"
+  "CMakeFiles/thrifty_bench_common.dir/table_printer.cpp.o"
+  "CMakeFiles/thrifty_bench_common.dir/table_printer.cpp.o.d"
+  "libthrifty_bench_common.a"
+  "libthrifty_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc_baselines/afforest.cpp" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/afforest.cpp.o" "gcc" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/afforest.cpp.o.d"
+  "/root/repo/src/cc_baselines/bfs_cc.cpp" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/bfs_cc.cpp.o" "gcc" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/bfs_cc.cpp.o.d"
+  "/root/repo/src/cc_baselines/fastsv.cpp" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/fastsv.cpp.o" "gcc" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/fastsv.cpp.o.d"
+  "/root/repo/src/cc_baselines/hybrid_cc.cpp" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/hybrid_cc.cpp.o" "gcc" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/hybrid_cc.cpp.o.d"
+  "/root/repo/src/cc_baselines/jayanti_tarjan.cpp" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/jayanti_tarjan.cpp.o" "gcc" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/jayanti_tarjan.cpp.o.d"
+  "/root/repo/src/cc_baselines/reference_cc.cpp" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/reference_cc.cpp.o" "gcc" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/reference_cc.cpp.o.d"
+  "/root/repo/src/cc_baselines/registry.cpp" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/registry.cpp.o" "gcc" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/registry.cpp.o.d"
+  "/root/repo/src/cc_baselines/shiloach_vishkin.cpp" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/shiloach_vishkin.cpp.o" "gcc" "src/cc_baselines/CMakeFiles/thrifty_baselines.dir/shiloach_vishkin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/thrifty_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spmv/CMakeFiles/thrifty_spmv.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/thrifty_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/frontier/CMakeFiles/thrifty_frontier.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/thrifty_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/instrument/CMakeFiles/thrifty_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/thrifty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_baselines.dir/afforest.cpp.o"
+  "CMakeFiles/thrifty_baselines.dir/afforest.cpp.o.d"
+  "CMakeFiles/thrifty_baselines.dir/bfs_cc.cpp.o"
+  "CMakeFiles/thrifty_baselines.dir/bfs_cc.cpp.o.d"
+  "CMakeFiles/thrifty_baselines.dir/fastsv.cpp.o"
+  "CMakeFiles/thrifty_baselines.dir/fastsv.cpp.o.d"
+  "CMakeFiles/thrifty_baselines.dir/hybrid_cc.cpp.o"
+  "CMakeFiles/thrifty_baselines.dir/hybrid_cc.cpp.o.d"
+  "CMakeFiles/thrifty_baselines.dir/jayanti_tarjan.cpp.o"
+  "CMakeFiles/thrifty_baselines.dir/jayanti_tarjan.cpp.o.d"
+  "CMakeFiles/thrifty_baselines.dir/reference_cc.cpp.o"
+  "CMakeFiles/thrifty_baselines.dir/reference_cc.cpp.o.d"
+  "CMakeFiles/thrifty_baselines.dir/registry.cpp.o"
+  "CMakeFiles/thrifty_baselines.dir/registry.cpp.o.d"
+  "CMakeFiles/thrifty_baselines.dir/shiloach_vishkin.cpp.o"
+  "CMakeFiles/thrifty_baselines.dir/shiloach_vishkin.cpp.o.d"
+  "libthrifty_baselines.a"
+  "libthrifty_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libthrifty_baselines.a"
+)

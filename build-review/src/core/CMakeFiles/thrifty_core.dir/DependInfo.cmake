@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cc_common.cpp" "src/core/CMakeFiles/thrifty_core.dir/cc_common.cpp.o" "gcc" "src/core/CMakeFiles/thrifty_core.dir/cc_common.cpp.o.d"
+  "/root/repo/src/core/dolp.cpp" "src/core/CMakeFiles/thrifty_core.dir/dolp.cpp.o" "gcc" "src/core/CMakeFiles/thrifty_core.dir/dolp.cpp.o.d"
+  "/root/repo/src/core/thrifty.cpp" "src/core/CMakeFiles/thrifty_core.dir/thrifty.cpp.o" "gcc" "src/core/CMakeFiles/thrifty_core.dir/thrifty.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/thrifty_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/thrifty_core.dir/verify.cpp.o.d"
+  "/root/repo/src/core/wavefront_trace.cpp" "src/core/CMakeFiles/thrifty_core.dir/wavefront_trace.cpp.o" "gcc" "src/core/CMakeFiles/thrifty_core.dir/wavefront_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/thrifty_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/frontier/CMakeFiles/thrifty_frontier.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/thrifty_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/instrument/CMakeFiles/thrifty_instrument.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/thrifty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_core.dir/cc_common.cpp.o"
+  "CMakeFiles/thrifty_core.dir/cc_common.cpp.o.d"
+  "CMakeFiles/thrifty_core.dir/dolp.cpp.o"
+  "CMakeFiles/thrifty_core.dir/dolp.cpp.o.d"
+  "CMakeFiles/thrifty_core.dir/thrifty.cpp.o"
+  "CMakeFiles/thrifty_core.dir/thrifty.cpp.o.d"
+  "CMakeFiles/thrifty_core.dir/verify.cpp.o"
+  "CMakeFiles/thrifty_core.dir/verify.cpp.o.d"
+  "CMakeFiles/thrifty_core.dir/wavefront_trace.cpp.o"
+  "CMakeFiles/thrifty_core.dir/wavefront_trace.cpp.o.d"
+  "libthrifty_core.a"
+  "libthrifty_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_dist.dir/dist_lp.cpp.o"
+  "CMakeFiles/thrifty_dist.dir/dist_lp.cpp.o.d"
+  "libthrifty_dist.a"
+  "libthrifty_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontier/bitmap.cpp" "src/frontier/CMakeFiles/thrifty_frontier.dir/bitmap.cpp.o" "gcc" "src/frontier/CMakeFiles/thrifty_frontier.dir/bitmap.cpp.o.d"
+  "/root/repo/src/frontier/local_worklists.cpp" "src/frontier/CMakeFiles/thrifty_frontier.dir/local_worklists.cpp.o" "gcc" "src/frontier/CMakeFiles/thrifty_frontier.dir/local_worklists.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/thrifty_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/thrifty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_frontier.dir/bitmap.cpp.o"
+  "CMakeFiles/thrifty_frontier.dir/bitmap.cpp.o.d"
+  "CMakeFiles/thrifty_frontier.dir/local_worklists.cpp.o"
+  "CMakeFiles/thrifty_frontier.dir/local_worklists.cpp.o.d"
+  "libthrifty_frontier.a"
+  "libthrifty_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

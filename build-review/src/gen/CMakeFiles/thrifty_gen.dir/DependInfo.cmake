@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/barabasi_albert.cpp" "src/gen/CMakeFiles/thrifty_gen.dir/barabasi_albert.cpp.o" "gcc" "src/gen/CMakeFiles/thrifty_gen.dir/barabasi_albert.cpp.o.d"
+  "/root/repo/src/gen/combine.cpp" "src/gen/CMakeFiles/thrifty_gen.dir/combine.cpp.o" "gcc" "src/gen/CMakeFiles/thrifty_gen.dir/combine.cpp.o.d"
+  "/root/repo/src/gen/erdos_renyi.cpp" "src/gen/CMakeFiles/thrifty_gen.dir/erdos_renyi.cpp.o" "gcc" "src/gen/CMakeFiles/thrifty_gen.dir/erdos_renyi.cpp.o.d"
+  "/root/repo/src/gen/grid.cpp" "src/gen/CMakeFiles/thrifty_gen.dir/grid.cpp.o" "gcc" "src/gen/CMakeFiles/thrifty_gen.dir/grid.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/gen/CMakeFiles/thrifty_gen.dir/rmat.cpp.o" "gcc" "src/gen/CMakeFiles/thrifty_gen.dir/rmat.cpp.o.d"
+  "/root/repo/src/gen/sbm.cpp" "src/gen/CMakeFiles/thrifty_gen.dir/sbm.cpp.o" "gcc" "src/gen/CMakeFiles/thrifty_gen.dir/sbm.cpp.o.d"
+  "/root/repo/src/gen/simple.cpp" "src/gen/CMakeFiles/thrifty_gen.dir/simple.cpp.o" "gcc" "src/gen/CMakeFiles/thrifty_gen.dir/simple.cpp.o.d"
+  "/root/repo/src/gen/small_world.cpp" "src/gen/CMakeFiles/thrifty_gen.dir/small_world.cpp.o" "gcc" "src/gen/CMakeFiles/thrifty_gen.dir/small_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/thrifty_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/thrifty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_gen.dir/barabasi_albert.cpp.o"
+  "CMakeFiles/thrifty_gen.dir/barabasi_albert.cpp.o.d"
+  "CMakeFiles/thrifty_gen.dir/combine.cpp.o"
+  "CMakeFiles/thrifty_gen.dir/combine.cpp.o.d"
+  "CMakeFiles/thrifty_gen.dir/erdos_renyi.cpp.o"
+  "CMakeFiles/thrifty_gen.dir/erdos_renyi.cpp.o.d"
+  "CMakeFiles/thrifty_gen.dir/grid.cpp.o"
+  "CMakeFiles/thrifty_gen.dir/grid.cpp.o.d"
+  "CMakeFiles/thrifty_gen.dir/rmat.cpp.o"
+  "CMakeFiles/thrifty_gen.dir/rmat.cpp.o.d"
+  "CMakeFiles/thrifty_gen.dir/sbm.cpp.o"
+  "CMakeFiles/thrifty_gen.dir/sbm.cpp.o.d"
+  "CMakeFiles/thrifty_gen.dir/simple.cpp.o"
+  "CMakeFiles/thrifty_gen.dir/simple.cpp.o.d"
+  "CMakeFiles/thrifty_gen.dir/small_world.cpp.o"
+  "CMakeFiles/thrifty_gen.dir/small_world.cpp.o.d"
+  "libthrifty_gen.a"
+  "libthrifty_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

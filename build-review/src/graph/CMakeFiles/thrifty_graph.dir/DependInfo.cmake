@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/thrifty_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/thrifty_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/graph/CMakeFiles/thrifty_graph.dir/csr_graph.cpp.o" "gcc" "src/graph/CMakeFiles/thrifty_graph.dir/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/degree_stats.cpp" "src/graph/CMakeFiles/thrifty_graph.dir/degree_stats.cpp.o" "gcc" "src/graph/CMakeFiles/thrifty_graph.dir/degree_stats.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/thrifty_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/thrifty_graph.dir/subgraph.cpp.o.d"
+  "/root/repo/src/graph/validate.cpp" "src/graph/CMakeFiles/thrifty_graph.dir/validate.cpp.o" "gcc" "src/graph/CMakeFiles/thrifty_graph.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/thrifty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_graph.dir/builder.cpp.o"
+  "CMakeFiles/thrifty_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/thrifty_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/thrifty_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/thrifty_graph.dir/degree_stats.cpp.o"
+  "CMakeFiles/thrifty_graph.dir/degree_stats.cpp.o.d"
+  "CMakeFiles/thrifty_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/thrifty_graph.dir/subgraph.cpp.o.d"
+  "CMakeFiles/thrifty_graph.dir/validate.cpp.o"
+  "CMakeFiles/thrifty_graph.dir/validate.cpp.o.d"
+  "libthrifty_graph.a"
+  "libthrifty_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_instrument.dir/csv_export.cpp.o"
+  "CMakeFiles/thrifty_instrument.dir/csv_export.cpp.o.d"
+  "CMakeFiles/thrifty_instrument.dir/run_stats.cpp.o"
+  "CMakeFiles/thrifty_instrument.dir/run_stats.cpp.o.d"
+  "libthrifty_instrument.a"
+  "libthrifty_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

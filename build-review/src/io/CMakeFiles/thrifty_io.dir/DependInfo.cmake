@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/binary_io.cpp" "src/io/CMakeFiles/thrifty_io.dir/binary_io.cpp.o" "gcc" "src/io/CMakeFiles/thrifty_io.dir/binary_io.cpp.o.d"
+  "/root/repo/src/io/edge_list_io.cpp" "src/io/CMakeFiles/thrifty_io.dir/edge_list_io.cpp.o" "gcc" "src/io/CMakeFiles/thrifty_io.dir/edge_list_io.cpp.o.d"
+  "/root/repo/src/io/io_error.cpp" "src/io/CMakeFiles/thrifty_io.dir/io_error.cpp.o" "gcc" "src/io/CMakeFiles/thrifty_io.dir/io_error.cpp.o.d"
+  "/root/repo/src/io/matrix_market_io.cpp" "src/io/CMakeFiles/thrifty_io.dir/matrix_market_io.cpp.o" "gcc" "src/io/CMakeFiles/thrifty_io.dir/matrix_market_io.cpp.o.d"
+  "/root/repo/src/io/mmap_io.cpp" "src/io/CMakeFiles/thrifty_io.dir/mmap_io.cpp.o" "gcc" "src/io/CMakeFiles/thrifty_io.dir/mmap_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/thrifty_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/thrifty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

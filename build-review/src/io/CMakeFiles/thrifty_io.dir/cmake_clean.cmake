@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_io.dir/binary_io.cpp.o"
+  "CMakeFiles/thrifty_io.dir/binary_io.cpp.o.d"
+  "CMakeFiles/thrifty_io.dir/edge_list_io.cpp.o"
+  "CMakeFiles/thrifty_io.dir/edge_list_io.cpp.o.d"
+  "CMakeFiles/thrifty_io.dir/io_error.cpp.o"
+  "CMakeFiles/thrifty_io.dir/io_error.cpp.o.d"
+  "CMakeFiles/thrifty_io.dir/matrix_market_io.cpp.o"
+  "CMakeFiles/thrifty_io.dir/matrix_market_io.cpp.o.d"
+  "CMakeFiles/thrifty_io.dir/mmap_io.cpp.o"
+  "CMakeFiles/thrifty_io.dir/mmap_io.cpp.o.d"
+  "libthrifty_io.a"
+  "libthrifty_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_partition.dir/edge_partitioner.cpp.o"
+  "CMakeFiles/thrifty_partition.dir/edge_partitioner.cpp.o.d"
+  "libthrifty_partition.a"
+  "libthrifty_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

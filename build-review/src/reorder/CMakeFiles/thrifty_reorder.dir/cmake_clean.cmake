@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_reorder.dir/reorder.cpp.o"
+  "CMakeFiles/thrifty_reorder.dir/reorder.cpp.o.d"
+  "libthrifty_reorder.a"
+  "libthrifty_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

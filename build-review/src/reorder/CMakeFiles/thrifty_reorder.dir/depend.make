@@ -1,0 +1,2 @@
+# Empty dependencies file for thrifty_reorder.
+# This may be replaced when dependencies are built.

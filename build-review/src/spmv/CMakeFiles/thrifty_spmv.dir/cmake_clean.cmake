@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_spmv.dir/engine.cpp.o"
+  "CMakeFiles/thrifty_spmv.dir/engine.cpp.o.d"
+  "libthrifty_spmv.a"
+  "libthrifty_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

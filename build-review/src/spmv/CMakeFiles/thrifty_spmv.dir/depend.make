@@ -1,0 +1,2 @@
+# Empty dependencies file for thrifty_spmv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/env.cpp" "src/support/CMakeFiles/thrifty_support.dir/env.cpp.o" "gcc" "src/support/CMakeFiles/thrifty_support.dir/env.cpp.o.d"
+  "/root/repo/src/support/run_config.cpp" "src/support/CMakeFiles/thrifty_support.dir/run_config.cpp.o" "gcc" "src/support/CMakeFiles/thrifty_support.dir/run_config.cpp.o.d"
+  "/root/repo/src/support/topology.cpp" "src/support/CMakeFiles/thrifty_support.dir/topology.cpp.o" "gcc" "src/support/CMakeFiles/thrifty_support.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_support.dir/env.cpp.o"
+  "CMakeFiles/thrifty_support.dir/env.cpp.o.d"
+  "CMakeFiles/thrifty_support.dir/run_config.cpp.o"
+  "CMakeFiles/thrifty_support.dir/run_config.cpp.o.d"
+  "CMakeFiles/thrifty_support.dir/topology.cpp.o"
+  "CMakeFiles/thrifty_support.dir/topology.cpp.o.d"
+  "libthrifty_support.a"
+  "libthrifty_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

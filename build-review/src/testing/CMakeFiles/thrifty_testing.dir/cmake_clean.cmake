@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_testing.dir/crosscheck.cpp.o"
+  "CMakeFiles/thrifty_testing.dir/crosscheck.cpp.o.d"
+  "CMakeFiles/thrifty_testing.dir/minimize.cpp.o"
+  "CMakeFiles/thrifty_testing.dir/minimize.cpp.o.d"
+  "CMakeFiles/thrifty_testing.dir/oracles.cpp.o"
+  "CMakeFiles/thrifty_testing.dir/oracles.cpp.o.d"
+  "CMakeFiles/thrifty_testing.dir/repro.cpp.o"
+  "CMakeFiles/thrifty_testing.dir/repro.cpp.o.d"
+  "CMakeFiles/thrifty_testing.dir/scenario.cpp.o"
+  "CMakeFiles/thrifty_testing.dir/scenario.cpp.o.d"
+  "libthrifty_testing.a"
+  "libthrifty_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

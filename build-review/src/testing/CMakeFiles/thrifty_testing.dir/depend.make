@@ -1,0 +1,2 @@
+# Empty dependencies file for thrifty_testing.
+# This may be replaced when dependencies are built.

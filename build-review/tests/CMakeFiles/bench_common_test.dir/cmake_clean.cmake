@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_common_test.dir/bench_common_test.cpp.o"
+  "CMakeFiles/bench_common_test.dir/bench_common_test.cpp.o.d"
+  "bench_common_test"
+  "bench_common_test.pdb"
+  "bench_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_common_test.
+# This may be replaced when dependencies are built.

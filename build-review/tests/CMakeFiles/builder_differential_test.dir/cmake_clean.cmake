@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_differential_test.dir/builder_differential_test.cpp.o"
+  "CMakeFiles/builder_differential_test.dir/builder_differential_test.cpp.o.d"
+  "builder_differential_test"
+  "builder_differential_test.pdb"
+  "builder_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_algorithms_test.dir/cc_algorithms_test.cpp.o"
+  "CMakeFiles/cc_algorithms_test.dir/cc_algorithms_test.cpp.o.d"
+  "cc_algorithms_test"
+  "cc_algorithms_test.pdb"
+  "cc_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cc_algorithms_test.
+# This may be replaced when dependencies are built.

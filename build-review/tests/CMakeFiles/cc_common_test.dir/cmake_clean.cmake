@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_common_test.dir/cc_common_test.cpp.o"
+  "CMakeFiles/cc_common_test.dir/cc_common_test.cpp.o.d"
+  "cc_common_test"
+  "cc_common_test.pdb"
+  "cc_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contracts_test.dir/contracts_test.cpp.o"
+  "CMakeFiles/contracts_test.dir/contracts_test.cpp.o.d"
+  "contracts_test"
+  "contracts_test.pdb"
+  "contracts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contracts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

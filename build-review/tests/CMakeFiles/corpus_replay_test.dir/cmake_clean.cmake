@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_replay_test.dir/corpus_replay_test.cpp.o"
+  "CMakeFiles/corpus_replay_test.dir/corpus_replay_test.cpp.o.d"
+  "corpus_replay_test"
+  "corpus_replay_test.pdb"
+  "corpus_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

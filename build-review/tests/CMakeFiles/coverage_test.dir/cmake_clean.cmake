@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_test.dir/coverage_test.cpp.o"
+  "CMakeFiles/coverage_test.dir/coverage_test.cpp.o.d"
+  "coverage_test"
+  "coverage_test.pdb"
+  "coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

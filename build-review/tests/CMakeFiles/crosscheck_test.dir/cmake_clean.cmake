@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosscheck_test.dir/crosscheck_test.cpp.o"
+  "CMakeFiles/crosscheck_test.dir/crosscheck_test.cpp.o.d"
+  "crosscheck_test"
+  "crosscheck_test.pdb"
+  "crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_algorithms_test.dir/dataset_algorithms_test.cpp.o"
+  "CMakeFiles/dataset_algorithms_test.dir/dataset_algorithms_test.cpp.o.d"
+  "dataset_algorithms_test"
+  "dataset_algorithms_test.pdb"
+  "dataset_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_test.dir/dist_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist_test.cpp.o.d"
+  "dist_test"
+  "dist_test.pdb"
+  "dist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolp_test.dir/dolp_test.cpp.o"
+  "CMakeFiles/dolp_test.dir/dolp_test.cpp.o.d"
+  "dolp_test"
+  "dolp_test.pdb"
+  "dolp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_baselines_test.dir/extra_baselines_test.cpp.o"
+  "CMakeFiles/extra_baselines_test.dir/extra_baselines_test.cpp.o.d"
+  "extra_baselines_test"
+  "extra_baselines_test.pdb"
+  "extra_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

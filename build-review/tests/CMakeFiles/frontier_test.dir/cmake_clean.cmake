@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontier_test.dir/frontier_test.cpp.o"
+  "CMakeFiles/frontier_test.dir/frontier_test.cpp.o.d"
+  "frontier_test"
+  "frontier_test.pdb"
+  "frontier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

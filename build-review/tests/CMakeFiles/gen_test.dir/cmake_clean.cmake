@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_test.dir/gen_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen_test.cpp.o.d"
+  "gen_test"
+  "gen_test.pdb"
+  "gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

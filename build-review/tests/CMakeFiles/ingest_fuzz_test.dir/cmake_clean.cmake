@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_fuzz_test.dir/ingest_fuzz_test.cpp.o"
+  "CMakeFiles/ingest_fuzz_test.dir/ingest_fuzz_test.cpp.o.d"
+  "ingest_fuzz_test"
+  "ingest_fuzz_test.pdb"
+  "ingest_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_test.dir/instrument_test.cpp.o"
+  "CMakeFiles/instrument_test.dir/instrument_test.cpp.o.d"
+  "instrument_test"
+  "instrument_test.pdb"
+  "instrument_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmap_io_test.dir/mmap_io_test.cpp.o"
+  "CMakeFiles/mmap_io_test.dir/mmap_io_test.cpp.o.d"
+  "mmap_io_test"
+  "mmap_io_test.pdb"
+  "mmap_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmap_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_test.dir/registry_test.cpp.o"
+  "CMakeFiles/registry_test.dir/registry_test.cpp.o.d"
+  "registry_test"
+  "registry_test.pdb"
+  "registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_test.dir/reorder_test.cpp.o"
+  "CMakeFiles/reorder_test.dir/reorder_test.cpp.o.d"
+  "reorder_test"
+  "reorder_test.pdb"
+  "reorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

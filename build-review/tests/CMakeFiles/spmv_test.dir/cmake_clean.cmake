@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_test.dir/spmv_test.cpp.o"
+  "CMakeFiles/spmv_test.dir/spmv_test.cpp.o.d"
+  "spmv_test"
+  "spmv_test.pdb"
+  "spmv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_csv_test.dir/subgraph_csv_test.cpp.o"
+  "CMakeFiles/subgraph_csv_test.dir/subgraph_csv_test.cpp.o.d"
+  "subgraph_csv_test"
+  "subgraph_csv_test.pdb"
+  "subgraph_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

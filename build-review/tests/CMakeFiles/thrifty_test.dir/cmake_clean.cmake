@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_test.dir/thrifty_test.cpp.o"
+  "CMakeFiles/thrifty_test.dir/thrifty_test.cpp.o.d"
+  "thrifty_test"
+  "thrifty_test.pdb"
+  "thrifty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

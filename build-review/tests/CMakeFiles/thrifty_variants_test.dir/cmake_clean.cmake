@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_variants_test.dir/thrifty_variants_test.cpp.o"
+  "CMakeFiles/thrifty_variants_test.dir/thrifty_variants_test.cpp.o.d"
+  "thrifty_variants_test"
+  "thrifty_variants_test.pdb"
+  "thrifty_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

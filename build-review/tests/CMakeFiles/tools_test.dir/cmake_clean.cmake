@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_test.dir/tools_test.cpp.o"
+  "CMakeFiles/tools_test.dir/tools_test.cpp.o.d"
+  "tools_test"
+  "tools_test.pdb"
+  "tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_corruption_test.dir/verify_corruption_test.cpp.o"
+  "CMakeFiles/verify_corruption_test.dir/verify_corruption_test.cpp.o.d"
+  "verify_corruption_test"
+  "verify_corruption_test.pdb"
+  "verify_corruption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

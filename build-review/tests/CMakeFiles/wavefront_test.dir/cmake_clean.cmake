@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront_test.dir/wavefront_test.cpp.o"
+  "CMakeFiles/wavefront_test.dir/wavefront_test.cpp.o.d"
+  "wavefront_test"
+  "wavefront_test.pdb"
+  "wavefront_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_crosscheck.dir/cc_crosscheck.cpp.o"
+  "CMakeFiles/cc_crosscheck.dir/cc_crosscheck.cpp.o.d"
+  "cc_crosscheck"
+  "cc_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

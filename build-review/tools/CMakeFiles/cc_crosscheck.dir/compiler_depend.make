@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cc_crosscheck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_ingest.dir/fuzz_ingest.cpp.o"
+  "CMakeFiles/fuzz_ingest.dir/fuzz_ingest.cpp.o.d"
+  "fuzz_ingest"
+  "fuzz_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

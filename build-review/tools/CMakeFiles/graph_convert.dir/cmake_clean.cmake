@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_convert.dir/graph_convert.cpp.o"
+  "CMakeFiles/graph_convert.dir/graph_convert.cpp.o.d"
+  "graph_convert"
+  "graph_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

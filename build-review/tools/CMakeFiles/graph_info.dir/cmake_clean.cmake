@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_info.dir/graph_info.cpp.o"
+  "CMakeFiles/graph_info.dir/graph_info.cpp.o.d"
+  "graph_info"
+  "graph_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_cc.dir/thrifty_cc.cpp.o"
+  "CMakeFiles/thrifty_cc.dir/thrifty_cc.cpp.o.d"
+  "thrifty_cc"
+  "thrifty_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thrifty_cc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrifty_tool_common.dir/ingest_fuzzer.cpp.o"
+  "CMakeFiles/thrifty_tool_common.dir/ingest_fuzzer.cpp.o.d"
+  "CMakeFiles/thrifty_tool_common.dir/tool_common.cpp.o"
+  "CMakeFiles/thrifty_tool_common.dir/tool_common.cpp.o.d"
+  "libthrifty_tool_common.a"
+  "libthrifty_tool_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrifty_tool_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
