@@ -31,7 +31,9 @@
 #include "io/mmap_io.hpp"
 #include "support/env.hpp"
 #include "support/parallel.hpp"
+#include "support/random.hpp"
 #include "support/run_config.hpp"
+#include "support/simd.hpp"
 #include "support/timer.hpp"
 #include "support/uninit_vector.hpp"
 
@@ -324,6 +326,149 @@ int run(int argc, char** argv) {
                    bench::TablePrinter::fmt_ms(optimized_ms),
                    bench::TablePrinter::fmt_ratio(baseline_ms /
                                                   optimized_ms)});
+  }
+
+  // --- Dense kernels of the SIMD layer: forced scalar vs the widest
+  // level the host supports (equal on non-x86 hosts, where the rows
+  // simply read 1.0x).  Results are cross-checked before timing, so the
+  // numbers compare bit-identical computations.
+  {
+    using support::SimdLevel;
+    namespace simd = support::simd;
+    const SimdLevel scalar = SimdLevel::kScalar;
+    const SimdLevel vector = simd::effective_level();
+    const auto level_pair = std::string(" (") +
+                            support::to_string(scalar) + "/" +
+                            support::to_string(vector) + ")";
+    const auto add_kernel_row = [&](const char* name, double scalar_ms,
+                                    double vector_ms) {
+      report.add_comparison(name, scalar_ms, vector_ms);
+      table.add_row({name + level_pair,
+                     bench::TablePrinter::fmt_ms(scalar_ms),
+                     bench::TablePrinter::fmt_ms(vector_ms),
+                     bench::TablePrinter::fmt_ratio(scalar_ms /
+                                                    vector_ms)});
+    };
+    const auto expect_equal_u64 = [](const char* name, std::uint64_t a,
+                                     std::uint64_t b) {
+      if (a != b) {
+        std::fprintf(stderr,
+                     "FATAL: %s kernel variants disagree (%llu vs %llu)\n",
+                     name, static_cast<unsigned long long>(a),
+                     static_cast<unsigned long long>(b));
+        std::abort();
+      }
+    };
+    support::Xoshiro256StarStar rng(0xbe9c4);
+
+    // Pull-mode min-label scan over the star-dominated graph's real
+    // adjacency structure (the thrifty/dolp inner loop).
+    {
+      const CsrGraph g = graph::build_csr(edges, id_space).graph;
+      std::vector<std::uint32_t> labels(g.num_vertices());
+      for (auto& l : labels) {
+        l = static_cast<std::uint32_t>(rng.next_below(g.num_vertices()));
+      }
+      const auto pull_checksum = [&](SimdLevel level) {
+        std::uint64_t acc = 0;
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          const auto nbrs = g.neighbors(v);
+          acc += simd::min_gather_u32(labels.data(), nbrs.data(),
+                                      nbrs.size(), labels[v],
+                                      /*stop_at_zero=*/false, level);
+        }
+        return acc;
+      };
+      expect_equal_u64("pull_min_label", pull_checksum(scalar),
+                       pull_checksum(vector));
+      std::uint64_t sink = 0;
+      const double scalar_ms =
+          min_time_ms(trials, [&] { sink += pull_checksum(scalar); });
+      const double vector_ms =
+          min_time_ms(trials, [&] { sink += pull_checksum(vector); });
+      if (sink == 1) std::abort();  // keep the checksums live
+      add_kernel_row("pull_min_label", scalar_ms, vector_ms);
+    }
+
+    // Convergence sweep (count_equal_labels) on label arrays that agree
+    // on roughly half their entries.
+    const std::size_t sweep = std::size_t{1} << (rmat_scale + 6);
+    {
+      std::vector<std::uint32_t> a(sweep);
+      std::vector<std::uint32_t> b(sweep);
+      for (std::size_t i = 0; i < sweep; ++i) {
+        a[i] = static_cast<std::uint32_t>(rng.next_below(1u << 20));
+        b[i] = (i % 2 == 0) ? a[i]
+                            : static_cast<std::uint32_t>(
+                                  rng.next_below(1u << 20));
+      }
+      expect_equal_u64(
+          "converged_count",
+          simd::count_equal_u32(a.data(), b.data(), sweep, scalar),
+          simd::count_equal_u32(a.data(), b.data(), sweep, vector));
+      std::uint64_t sink = 0;
+      const double scalar_ms = min_time_ms(trials, [&] {
+        sink += simd::count_equal_u32(a.data(), b.data(), sweep, scalar);
+      });
+      const double vector_ms = min_time_ms(trials, [&] {
+        sink += simd::count_equal_u32(a.data(), b.data(), sweep, vector);
+      });
+      if (sink == 1) std::abort();
+      add_kernel_row("converged_count", scalar_ms, vector_ms);
+    }
+
+    // Bitmap::count word scan.
+    {
+      const std::size_t words = sweep / 8;
+      std::vector<std::uint64_t> bits(words);
+      for (auto& w : bits) w = rng.next_below(~0ull);
+      expect_equal_u64("bitmap_popcount",
+                       simd::popcount_u64(bits.data(), words, scalar),
+                       simd::popcount_u64(bits.data(), words, vector));
+      std::uint64_t sink = 0;
+      const double scalar_ms = min_time_ms(trials, [&] {
+        sink += simd::popcount_u64(bits.data(), words, scalar);
+      });
+      const double vector_ms = min_time_ms(trials, [&] {
+        sink += simd::popcount_u64(bits.data(), words, vector);
+      });
+      if (sink == 1) std::abort();
+      add_kernel_row("bitmap_popcount", scalar_ms, vector_ms);
+    }
+
+    // Grandparent-shortcut flatten of a random union-find forest (the
+    // FastSV / Shiloach-Vishkin shortcut phase).  Each trial pays one
+    // copy of the unflattened forest at the same level, so the delta is
+    // the flatten itself.
+    {
+      std::vector<std::uint32_t> forest(sweep);
+      for (std::size_t v = 0; v < sweep; ++v) {
+        forest[v] = static_cast<std::uint32_t>(rng.next_below(v + 1));
+      }
+      std::vector<std::uint32_t> work_a(sweep);
+      std::vector<std::uint32_t> work_b(sweep);
+      simd::copy_u32(work_a.data(), forest.data(), sweep, scalar);
+      simd::copy_u32(work_b.data(), forest.data(), sweep, vector);
+      (void)simd::flatten_u32(work_a.data(), 0, sweep, scalar);
+      (void)simd::flatten_u32(work_b.data(), 0, sweep, vector);
+      if (work_a != work_b) {
+        std::fprintf(stderr,
+                     "FATAL: shortcut_flatten kernel variants disagree\n");
+        std::abort();
+      }
+      const auto flatten_at = [&](std::vector<std::uint32_t>& work,
+                                  SimdLevel level) {
+        simd::copy_u32(work.data(), forest.data(), sweep, level);
+        return simd::flatten_u32(work.data(), 0, sweep, level);
+      };
+      std::uint64_t sink = 0;
+      const double scalar_ms = min_time_ms(
+          trials, [&] { sink += flatten_at(work_a, scalar) ? 1 : 2; });
+      const double vector_ms = min_time_ms(
+          trials, [&] { sink += flatten_at(work_b, vector) ? 1 : 2; });
+      if (sink == 1) std::abort();
+      add_kernel_row("shortcut_flatten", scalar_ms, vector_ms);
+    }
   }
 
   // --- End-to-end thrifty_cc on the twitter stand-in; "baseline" runs

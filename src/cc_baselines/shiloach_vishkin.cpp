@@ -3,6 +3,8 @@
 #include <atomic>
 
 #include "instrument/run_stats.hpp"
+#include "support/parallel.hpp"
+#include "support/simd.hpp"
 #include "support/timer.hpp"
 
 namespace thrifty::baselines {
@@ -46,14 +48,22 @@ core::CcResult shiloach_vishkin_cc(const graph::CsrGraph& graph,
         }
       }
     }
-    // Shortcut: pointer jumping until every vertex points at a root.
-#pragma omp parallel for schedule(static)
-    for (VertexId v = 0; v < n; ++v) {
-      Label c = core::load_label(comp[v]);
-      while (c != core::load_label(comp[c])) {
-        c = core::load_label(comp[c]);
-      }
-      core::store_label(comp[v], c);
+    // Shortcut: grandparent-jump sweeps on the SIMD kernel until every
+    // vertex points at a root.  Each thread flattens a contiguous slice
+    // to its local fixed point; the outer loop repeats until a barrier
+    // round in which no slice changed, which proves the global fixed
+    // point (a neighbouring slice can lower a parent after this slice's
+    // own sweep stabilises).
+    const auto level = support::simd::effective_level();
+    std::atomic<bool> flattening{true};
+    while (flattening.load(std::memory_order_relaxed)) {
+      flattening.store(false, std::memory_order_relaxed);
+      support::parallel_region([&](int t, int threads) {
+        const auto [begin, end] = support::thread_slice(n, t, threads);
+        if (support::simd::flatten_u32(comp.data(), begin, end, level)) {
+          flattening.store(true, std::memory_order_relaxed);
+        }
+      });
     }
     change = hooked.load();
   }

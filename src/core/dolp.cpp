@@ -12,6 +12,7 @@
 #include "support/assert.hpp"
 #include "support/parallel.hpp"
 #include "support/prefetch.hpp"
+#include "support/simd.hpp"
 #include "support/timer.hpp"
 
 namespace thrifty::core {
@@ -64,6 +65,9 @@ CcResult dolp_impl(const CsrGraph& g, const CcOptions& options,
   const EdgeOffset hub_threshold =
       frontier::hub_split_threshold(m, support::num_threads());
   const auto degree_of = [&g](VertexId v) { return g.degree(v); };
+  // Kernel level for the dense pull sweeps (see thrifty.cpp).
+  const support::SimdLevel simd_level =
+      support::simd::gather_level(support::simd::effective_level(), n);
 
   std::uint64_t active_vertices = n;
   std::uint64_t active_edges = m;
@@ -161,18 +165,28 @@ CcResult dolp_impl(const CsrGraph& g, const CcOptions& options,
               kUnified ? load_label(new_lbs[v]) : old_lbs[v];
           Label new_label = old_label;
           const auto nbrs = g.neighbors(v);
-          for (std::size_t j = 0; j < nbrs.size(); ++j) {
-            if (j + support::kPrefetchDistance < nbrs.size()) {
-              const VertexId ahead = nbrs[j + support::kPrefetchDistance];
-              support::prefetch_read(kUnified ? &new_lbs[ahead]
-                                              : &old_lbs[ahead]);
+          if constexpr (!Counters::kEnabled) {
+            // Vectorized gather–min over the neighbour labels; DO-LP
+            // has no zero-convergence exit, so the scan always reads
+            // the full adjacency slice.
+            const Label* source = kUnified ? new_lbs.data() : old_lbs.data();
+            new_label = support::simd::min_gather_u32(
+                source, nbrs.data(), nbrs.size(), old_label,
+                /*stop_at_zero=*/false, simd_level);
+          } else {
+            for (std::size_t j = 0; j < nbrs.size(); ++j) {
+              if (j + support::kPrefetchDistance < nbrs.size()) {
+                const VertexId ahead = nbrs[j + support::kPrefetchDistance];
+                support::prefetch_read(kUnified ? &new_lbs[ahead]
+                                                : &old_lbs[ahead]);
+              }
+              const VertexId u = nbrs[j];
+              counters.edge();
+              counters.label_read();
+              const Label lu =
+                  kUnified ? load_label(new_lbs[u]) : old_lbs[u];
+              if (lu < new_label) new_label = lu;
             }
-            const VertexId u = nbrs[j];
-            counters.edge();
-            counters.label_read();
-            const Label lu =
-                kUnified ? load_label(new_lbs[u]) : old_lbs[u];
-            if (lu < new_label) new_label = lu;
           }
           if (new_label < old_label) {
             counters.label_write();
@@ -191,14 +205,12 @@ CcResult dolp_impl(const CsrGraph& g, const CcOptions& options,
     }
 
     // Label array synchronisation (Lines 21-22) — removed by the Unified
-    // Labels Array optimisation.
+    // Labels Array optimisation.  Runs as a parallel SIMD copy sweep.
     if constexpr (!kUnified) {
       counters.label_read(n);
       counters.label_write(n);
-#pragma omp parallel for schedule(static)
-      for (VertexId v = 0; v < n; ++v) {
-        old_lbs[v] = new_lbs[v];
-      }
+      copy_labels({new_lbs.data(), new_lbs.size()},
+                  {old_lbs.data(), old_lbs.size()});
     }
 
     queue.slide_window();

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <span>
 
+#include "core/cc_common.hpp"
 #include "graph/types.hpp"
 #include "instrument/counters.hpp"
 
@@ -13,17 +14,11 @@ namespace thrifty::core::detail {
 
 /// Number of vertices whose current label already equals its final label.
 /// Used only in instrumented runs to fill IterationRecord::converged_
-/// vertices (Figures 3, 7, 8).
+/// vertices (Figures 3, 7, 8).  The sweep runs on the SIMD kernel layer.
 [[nodiscard]] inline std::uint64_t count_converged(
     std::span<const graph::Label> current,
     std::span<const graph::Label> final_labels) {
-  std::uint64_t converged = 0;
-  const std::size_t n = current.size();
-#pragma omp parallel for schedule(static) reduction(+ : converged)
-  for (std::size_t v = 0; v < n; ++v) {
-    converged += (current[v] == final_labels[v]) ? 1 : 0;
-  }
-  return converged;
+  return count_equal_labels(current, final_labels);
 }
 
 /// Difference of edges_processed between two counter snapshots.

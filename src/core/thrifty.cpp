@@ -17,6 +17,7 @@
 #include "support/parallel.hpp"
 #include "support/prefetch.hpp"
 #include "support/random.hpp"
+#include "support/simd.hpp"
 #include "support/timer.hpp"
 
 namespace thrifty::core {
@@ -133,6 +134,12 @@ CcResult thrifty_impl(const CsrGraph& g, const CcOptions& options,
   for (std::size_t i = 0; i < seeds.size(); ++i) {
     labels[seeds[i]] = static_cast<Label>(i);
   }
+
+  // Kernel instruction-set level for the dense pull sweeps, resolved
+  // once per invocation (THRIFTY_SIMD clamped to host support, scalar
+  // for id spaces beyond the 32-bit gather range).
+  const support::SimdLevel simd_level =
+      support::simd::gather_level(support::simd::effective_level(), n);
 
   const int threads = support::num_threads();
   frontier::LocalWorklists current(n, threads);
@@ -299,20 +306,31 @@ CcResult thrifty_impl(const CsrGraph& g, const CcOptions& options,
               }
               Label new_label = lv;
               const auto nbrs = g.neighbors(v);
-              for (std::size_t i = 0; i < nbrs.size(); ++i) {
-                if (i + support::kPrefetchDistance < nbrs.size()) {
-                  support::prefetch_read(
-                      &labels[nbrs[i + support::kPrefetchDistance]]);
-                }
-                const VertexId u = nbrs[i];
-                counters.edge();
-                counters.label_read();
-                const Label lu = load_label(labels[u]);
-                if (lu < new_label) {
-                  new_label = lu;
-                  if (kZeroConv && new_label == 0) {  // stop the scan
-                    counters.early_exit();
-                    break;
+              if constexpr (!Counters::kEnabled) {
+                // Vectorized gather–min scan (lane-wise min over the
+                // neighbour labels, zero-convergence early exit per
+                // chunk).  Bit-identical to the counted loop below.
+                new_label = support::simd::min_gather_u32(
+                    labels.data(), nbrs.data(), nbrs.size(), lv,
+                    kZeroConv, simd_level);
+              } else {
+                // Instrumented runs keep the scalar loop: the per-edge
+                // event counters observe every neighbour access.
+                for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                  if (i + support::kPrefetchDistance < nbrs.size()) {
+                    support::prefetch_read(
+                        &labels[nbrs[i + support::kPrefetchDistance]]);
+                  }
+                  const VertexId u = nbrs[i];
+                  counters.edge();
+                  counters.label_read();
+                  const Label lu = load_label(labels[u]);
+                  if (lu < new_label) {
+                    new_label = lu;
+                    if (kZeroConv && new_label == 0) {  // stop the scan
+                      counters.early_exit();
+                      break;
+                    }
                   }
                 }
               }

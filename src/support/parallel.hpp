@@ -95,6 +95,18 @@ void parallel_exclusive_scan(const Value* values, std::size_t n, Sum* out) {
   out[n] = block_sum[blocks];
 }
 
+/// Contiguous static split of [0, n) across `threads` workers: the slice
+/// `[first, second)` owned by thread `t`.  Used to hand each thread one
+/// dense range for the SIMD kernel layer (support/simd.hpp), where a
+/// per-element worksharing loop would defeat vectorization.
+[[nodiscard]] inline std::pair<std::size_t, std::size_t> thread_slice(
+    std::size_t n, int t, int threads) {
+  const std::size_t per = (n + static_cast<std::size_t>(threads) - 1) /
+                          static_cast<std::size_t>(threads);
+  const std::size_t begin = std::min(per * static_cast<std::size_t>(t), n);
+  return {begin, std::min(begin + per, n)};
+}
+
 /// Runs `body(thread_id, num_threads)` once on every thread of a parallel
 /// region.  Used for per-thread scratch (local worklists, local maxima).
 template <typename Body>

@@ -1,6 +1,7 @@
 #include "support/run_config.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace thrifty::support {
 
@@ -31,6 +32,16 @@ RunConfig run_config_from_env() {
   if (const auto text = env_string("THRIFTY_NUMA_STEAL")) {
     if (const auto scope = parse_steal_scope(*text)) {
       config.numa_steal = *scope;
+    }
+  }
+  if (const auto text = env_string("THRIFTY_SIMD")) {
+    if (const auto level = parse_simd_level(*text)) {
+      config.simd = *level;
+    } else {
+      std::fprintf(stderr,
+                   "thrifty: invalid THRIFTY_SIMD='%s' "
+                   "(expected auto|scalar|avx2|avx512); keeping auto\n",
+                   text->c_str());
     }
   }
   return config;

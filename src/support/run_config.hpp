@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "support/env.hpp"
+#include "support/simd.hpp"
 #include "support/topology.hpp"
 
 namespace thrifty::support {
@@ -33,6 +34,11 @@ struct RunConfig {
   /// Work-stealing scope for the partition scheduler
   /// (THRIFTY_NUMA_STEAL: local | global).
   StealScope numa_steal = StealScope::kLocal;
+  /// Requested kernel instruction-set ceiling (THRIFTY_SIMD:
+  /// auto | scalar | avx2 | avx512).  kAuto resolves to the best level
+  /// the host supports; a forced level above host support falls back
+  /// with a warning (simd::effective_level).
+  SimdLevel simd = SimdLevel::kAuto;
 
   friend bool operator==(const RunConfig&, const RunConfig&) = default;
 };

@@ -30,6 +30,9 @@ std::string RunSetup::describe() const {
   if (placement != support::Placement::kFirstTouch) {
     out << " placement=" << support::to_string(placement);
   }
+  if (simd != support::SimdLevel::kAuto) {
+    out << " simd=" << support::to_string(simd);
+  }
   return out.str();
 }
 
@@ -60,6 +63,16 @@ std::vector<RunSetup> perturbation_matrix() {
     RunSetup setup;
     setup.threads = 4;
     setup.placement = placement;
+    matrix.push_back(setup);
+  }
+  // Kernel level is likewise orthogonal: every SIMD variant is
+  // bit-identical to scalar by contract, so two forced-scalar points
+  // (serial and parallel) suffice to cross-check the default kAuto runs
+  // above against the portable path.
+  for (const int threads : {1, 4}) {
+    RunSetup setup;
+    setup.threads = threads;
+    setup.simd = support::SimdLevel::kScalar;
     matrix.push_back(setup);
   }
   return matrix;
@@ -155,6 +168,7 @@ core::CcResult run_under(const baselines::AlgorithmEntry& entry,
   support::RunConfig config = support::run_config();
   config.hub_split_degree = setup.hub_split_degree;
   config.placement = setup.placement;
+  config.simd = setup.simd;
   const support::RunConfigOverride config_scope(config);
   const support::ThreadCountGuard thread_scope(
       setup.threads > 0 ? setup.threads : support::num_threads());

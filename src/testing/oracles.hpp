@@ -49,6 +49,10 @@ struct RunSetup {
   /// Page-placement policy for the label arrays.  Placement must never
   /// change results, so the matrix sweeps it like any other knob.
   support::Placement placement = support::Placement::kFirstTouch;
+  /// Kernel instruction-set ceiling (support/simd.hpp).  SIMD variants
+  /// are bit-identical to scalar by contract, so the matrix sweeps the
+  /// level like any other knob; kAuto uses the widest supported level.
+  support::SimdLevel simd = support::SimdLevel::kAuto;
 
   [[nodiscard]] std::string describe() const;
 };

@@ -43,6 +43,7 @@ void write_repro(std::ostream& out, const Repro& repro) {
   out << "algorithm_seed " << repro.setup.algorithm_seed << "\n";
   out << "placement " << support::to_string(repro.setup.placement)
       << "\n";
+  out << "simd " << support::to_string(repro.setup.simd) << "\n";
   out << "fault " << to_string(repro.fault) << "\n";
   out << "vertices " << repro.num_vertices << "\n";
   out << "edges " << repro.edges.size() << "\n";
@@ -100,6 +101,12 @@ Repro read_repro(std::istream& in) {
       const auto placement = support::parse_placement(value);
       if (!placement) malformed("unknown placement '" + value + "'");
       repro.setup.placement = *placement;
+    } else if (key == "simd") {
+      // Absent in repro files from before the kernel-level knob existed;
+      // the RunSetup default (auto) covers those.
+      const auto level = support::parse_simd_level(value);
+      if (!level) malformed("unknown simd level '" + value + "'");
+      repro.setup.simd = *level;
     } else if (key == "fault") {
       const auto kind = parse_fault_kind(value);
       if (!kind) malformed("unknown fault kind '" + value + "'");

@@ -60,12 +60,18 @@ TEST(Scenario, GraphPreservesVertexIds) {
 
 TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
   const std::vector<RunSetup> matrix = perturbation_matrix();
-  // 3 threads x 3 hub degrees x 3 thresholds + 2 placement points.
-  EXPECT_EQ(matrix.size(), 29u);
+  // 3 threads x 3 hub degrees x 3 thresholds + 2 placement points
+  // + 2 forced-scalar kernel points.
+  EXPECT_EQ(matrix.size(), 31u);
   EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
                           [](const RunSetup& s) {
                             return s.placement !=
                                    support::Placement::kFirstTouch;
+                          }),
+            2);
+  EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
+                          [](const RunSetup& s) {
+                            return s.simd == support::SimdLevel::kScalar;
                           }),
             2);
   const RunSetup a = sampled_perturbation(5);

@@ -165,10 +165,12 @@ TEST(RunConfig, FromEnvReadsKnobsAndFallsBack) {
   ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "17", 1);
   ::setenv("THRIFTY_SCALE", "large", 1);
   ::setenv("THRIFTY_BENCH_TRIALS", "5", 1);
+  ::setenv("THRIFTY_SIMD", "avx2", 1);
   RunConfig config = run_config_from_env();
   EXPECT_EQ(config.hub_split_degree, 17);
   EXPECT_EQ(config.scale, Scale::kLarge);
   EXPECT_EQ(config.bench_trials, 5);
+  EXPECT_EQ(config.simd, SimdLevel::kAvx2);
 
   ::setenv("THRIFTY_HUB_SPLIT_DEGREE", "-3", 1);  // clamped to 0 (= auto)
   ::setenv("THRIFTY_SCALE", "garbage", 1);
@@ -181,8 +183,59 @@ TEST(RunConfig, FromEnvReadsKnobsAndFallsBack) {
   ::unsetenv("THRIFTY_HUB_SPLIT_DEGREE");
   ::unsetenv("THRIFTY_SCALE");
   ::unsetenv("THRIFTY_BENCH_TRIALS");
+  ::unsetenv("THRIFTY_SIMD");
   config = run_config_from_env();
   EXPECT_EQ(config, RunConfig{});
+}
+
+TEST(Simd, LevelParsesAndRoundTrips) {
+  EXPECT_EQ(parse_simd_level("auto"), SimdLevel::kAuto);
+  EXPECT_EQ(parse_simd_level("scalar"), SimdLevel::kScalar);
+  EXPECT_EQ(parse_simd_level("avx2"), SimdLevel::kAvx2);
+  EXPECT_EQ(parse_simd_level("avx512"), SimdLevel::kAvx512);
+  EXPECT_EQ(parse_simd_level("sse9"), std::nullopt);
+  EXPECT_EQ(parse_simd_level(""), std::nullopt);
+  for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2,
+                                SimdLevel::kAvx512, SimdLevel::kAuto}) {
+    EXPECT_EQ(parse_simd_level(to_string(level)), level);
+  }
+}
+
+TEST(RunConfig, SimdFromEnvReadsAndFallsBack) {
+  ::setenv("THRIFTY_SIMD", "scalar", 1);
+  EXPECT_EQ(run_config_from_env().simd, SimdLevel::kScalar);
+  ::setenv("THRIFTY_SIMD", "avx2", 1);
+  EXPECT_EQ(run_config_from_env().simd, SimdLevel::kAvx2);
+  ::setenv("THRIFTY_SIMD", "avx512", 1);
+  EXPECT_EQ(run_config_from_env().simd, SimdLevel::kAvx512);
+  ::setenv("THRIFTY_SIMD", "auto", 1);
+  EXPECT_EQ(run_config_from_env().simd, SimdLevel::kAuto);
+  // Invalid spellings warn on stderr and keep the auto default.
+  ::setenv("THRIFTY_SIMD", "avx1024", 1);
+  EXPECT_EQ(run_config_from_env().simd, SimdLevel::kAuto);
+  ::unsetenv("THRIFTY_SIMD");
+  EXPECT_EQ(run_config_from_env().simd, SimdLevel::kAuto);
+}
+
+TEST(Simd, EffectiveLevelClampsRequestsToHostSupport) {
+  const SimdLevel supported = simd::max_supported();
+  ASSERT_NE(supported, SimdLevel::kAuto);
+  for (const SimdLevel request : {SimdLevel::kScalar, SimdLevel::kAvx2,
+                                  SimdLevel::kAvx512, SimdLevel::kAuto}) {
+    RunConfig config = run_config();
+    config.simd = request;
+    const RunConfigOverride scope(config);
+    const SimdLevel effective = simd::effective_level();
+    // Never kAuto; a forced level the host lacks falls back gracefully
+    // to the best supported level, everything else is honoured.
+    ASSERT_NE(effective, SimdLevel::kAuto);
+    if (request == SimdLevel::kAuto || request > supported) {
+      EXPECT_EQ(effective, supported);
+    } else {
+      EXPECT_EQ(effective, request);
+    }
+    EXPECT_LE(static_cast<int>(effective), static_cast<int>(supported));
+  }
 }
 
 TEST(RunConfig, OverridesNestAndRestore) {
