@@ -5,6 +5,10 @@
 //   * snapshot load: zero-copy mmap vs the copying stream loader,
 //   * push iteration over a star-dominated R-MAT graph: hub-split +
 //     inline frontier mass vs unsplit consumption + serial mass rescan,
+//   * CSR relabel: parallel counting-sort apply_permutation vs the
+//     previous serial scatter + per-vertex std::sort rebuild,
+//   * pull sweep locality: the same min-gather sweep on original vs
+//     degree-reordered vertex ids (identical work, denser gathers),
 //   * end-to-end thrifty_cc on the twitter stand-in (with and without
 //     hub splitting).
 // `--json <path>` dumps the numbers for scripts/bench_compare.py.
@@ -29,6 +33,7 @@
 #include "graph/builder.hpp"
 #include "io/binary_io.hpp"
 #include "io/mmap_io.hpp"
+#include "reorder/reorder.hpp"
 #include "support/env.hpp"
 #include "support/parallel.hpp"
 #include "support/random.hpp"
@@ -121,6 +126,39 @@ CsrGraph build_csr_atomic_baseline(const EdgeList& edges, VertexId n) {
     for (EdgeOffset k = 0; k < count; ++k) dst[k] = old_to_new[src[k]];
   });
   return CsrGraph(std::move(new_offsets), std::move(new_neighbors));
+}
+
+// ---------------------------------------------------------------------------
+// Baseline 2: the previous apply_permutation — serial degree scatter,
+// serial relabelled-edge copy, then one std::sort per adjacency list
+// (preserved verbatim from the pre-reorder-subsystem stub).
+CsrGraph apply_permutation_sort_baseline(const CsrGraph& g,
+                                         const reorder::Permutation& perm) {
+  const VertexId n = g.num_vertices();
+  const EdgeOffset m = g.num_directed_edges();
+  UninitVector<EdgeOffset> offsets(static_cast<std::size_t>(n) + 1);
+  {
+    std::vector<EdgeOffset> degree(n);
+    for (VertexId v = 0; v < n; ++v) degree[perm[v]] = g.degree(v);
+    EdgeOffset running = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      offsets[v] = running;
+      running += degree[v];
+    }
+    offsets[n] = running;
+  }
+  UninitVector<VertexId> neighbors(m);
+  for (VertexId v = 0; v < n; ++v) {
+    EdgeOffset out = offsets[perm[v]];
+    for (const VertexId u : g.neighbors(v)) {
+      neighbors[out++] = perm[u];
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(neighbors.data() + offsets[v],
+              neighbors.data() + offsets[v + 1]);
+  }
+  return CsrGraph(std::move(offsets), std::move(neighbors));
 }
 
 // ---------------------------------------------------------------------------
@@ -469,6 +507,82 @@ int run(int argc, char** argv) {
       if (sink == 1) std::abort();
       add_kernel_row("shortcut_flatten", scalar_ms, vector_ms);
     }
+  }
+
+  // --- CSR relabel: the reorder subsystem's counting-sort rebuild vs
+  // the previous serial scatter + per-vertex std::sort.  Identical
+  // output (cross-checked), same degree-descending permutation.
+  {
+    const CsrGraph g = graph::build_csr(edges, id_space).graph;
+    const reorder::Permutation perm = reorder::degree_descending_order(g);
+    expect_same_graph(apply_permutation_sort_baseline(g, perm),
+                      reorder::apply_permutation(g, perm));
+    const double baseline_ms = min_time_ms(trials, [&] {
+      const CsrGraph r = apply_permutation_sort_baseline(g, perm);
+      if (r.num_vertices() == 0) std::abort();
+    });
+    const double optimized_ms = min_time_ms(trials, [&] {
+      const CsrGraph r = reorder::apply_permutation(g, perm);
+      if (r.num_vertices() == 0) std::abort();
+    });
+    report.add_comparison("reorder_apply", baseline_ms, optimized_ms);
+    table.add_row({"reorder_apply (sort/counting)",
+                   bench::TablePrinter::fmt_ms(baseline_ms),
+                   bench::TablePrinter::fmt_ms(optimized_ms),
+                   bench::TablePrinter::fmt_ratio(baseline_ms /
+                                                  optimized_ms)});
+  }
+
+  // --- Pull-sweep gather locality: the identical min-gather sweep (same
+  // SIMD level, same per-vertex work) over original ids vs the
+  // degree-reordered graph.  Labels travel with the permutation, so
+  // per-vertex results are a permutation of each other and the summed
+  // checksums must match — the measured delta is purely neighbour-id
+  // locality.
+  {
+    namespace simd = support::simd;
+    const support::SimdLevel level = simd::effective_level();
+    const CsrGraph g = graph::build_csr(edges, id_space).graph;
+    const reorder::Permutation perm = reorder::degree_descending_order(g);
+    const CsrGraph reordered = reorder::apply_permutation(g, perm);
+    support::Xoshiro256StarStar rng(0x5eed);
+    std::vector<std::uint32_t> labels(g.num_vertices());
+    for (auto& l : labels) {
+      l = static_cast<std::uint32_t>(rng.next_below(g.num_vertices()));
+    }
+    std::vector<std::uint32_t> labels_reordered(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      labels_reordered[perm[v]] = labels[v];
+    }
+    const auto pull_checksum = [&](const CsrGraph& graph,
+                                   const std::vector<std::uint32_t>& ls) {
+      std::uint64_t acc = 0;
+      for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+        const auto nbrs = graph.neighbors(v);
+        acc += simd::min_gather_u32(ls.data(), nbrs.data(), nbrs.size(),
+                                    ls[v], /*stop_at_zero=*/false, level);
+      }
+      return acc;
+    };
+    const std::uint64_t original_sum = pull_checksum(g, labels);
+    if (original_sum != pull_checksum(reordered, labels_reordered)) {
+      std::fprintf(stderr,
+                   "FATAL: reordered pull sweep changed the checksum\n");
+      std::abort();
+    }
+    std::uint64_t sink = 0;
+    const double baseline_ms =
+        min_time_ms(trials, [&] { sink += pull_checksum(g, labels); });
+    const double optimized_ms = min_time_ms(
+        trials, [&] { sink += pull_checksum(reordered, labels_reordered); });
+    if (sink == 1) std::abort();
+    report.add_comparison("pull_sweep_reordered", baseline_ms,
+                          optimized_ms);
+    table.add_row({"pull_sweep_reordered (orig/degree)",
+                   bench::TablePrinter::fmt_ms(baseline_ms),
+                   bench::TablePrinter::fmt_ms(optimized_ms),
+                   bench::TablePrinter::fmt_ratio(baseline_ms /
+                                                  optimized_ms)});
   }
 
   // --- End-to-end thrifty_cc on the twitter stand-in; "baseline" runs

@@ -145,6 +145,11 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
         setups.push_back(std::move(setup));
       }
     }
+    if (options.forced_reorder != reorder::OrderKind::kNone) {
+      for (RunSetup& setup : setups) {
+        setup.reorder = options.forced_reorder;
+      }
+    }
 
     for (const RunSetup& setup : setups) {
       summary.algorithm_runs += registry_size;

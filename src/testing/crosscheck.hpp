@@ -36,6 +36,13 @@ struct CrosscheckOptions {
   /// CSR arrays.  No-op where mmap is unsupported.
   bool mmap_roundtrip = false;
 
+  /// Force a vertex reordering onto every setup the sweep runs (the
+  /// --reorder smoke leg): each algorithm then solves the reordered
+  /// graph and maps labels back before comparison, exercising the full
+  /// reorder → solve → map_labels_back pipeline under every oracle.
+  /// kNone leaves the matrix's own reorder points in charge.
+  reorder::OrderKind forced_reorder = reorder::OrderKind::kNone;
+
   /// Shrink failing scenarios with the delta-debugging minimizer.
   bool minimize = true;
   int max_minimize_evaluations = 4000;

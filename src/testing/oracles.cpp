@@ -8,6 +8,7 @@
 #include "frontier/density.hpp"
 #include "gen/combine.hpp"
 #include "graph/builder.hpp"
+#include "reorder/relabel.hpp"
 #include "support/parallel.hpp"
 #include "support/random.hpp"
 #include "support/run_config.hpp"
@@ -32,6 +33,9 @@ std::string RunSetup::describe() const {
   }
   if (simd != support::SimdLevel::kAuto) {
     out << " simd=" << support::to_string(simd);
+  }
+  if (reorder != reorder::OrderKind::kNone) {
+    out << " reorder=" << reorder::to_string(reorder);
   }
   return out.str();
 }
@@ -73,6 +77,25 @@ std::vector<RunSetup> perturbation_matrix() {
     RunSetup setup;
     setup.threads = threads;
     setup.simd = support::SimdLevel::kScalar;
+    matrix.push_back(setup);
+  }
+  // Reordering is a pure relabelling: solving the reordered graph and
+  // mapping labels back must reproduce the original partition at every
+  // schedule.  One structured order (hubs first), one clustered order,
+  // and one adversarial shuffle cover the three order families without
+  // sweeping the full cross product.
+  {
+    RunSetup setup;
+    setup.threads = 4;
+    setup.reorder = reorder::OrderKind::kDegree;
+    matrix.push_back(setup);
+    setup = RunSetup{};
+    setup.threads = 2;
+    setup.reorder = reorder::OrderKind::kHubCluster;
+    matrix.push_back(setup);
+    setup = RunSetup{};
+    setup.threads = 4;
+    setup.reorder = reorder::OrderKind::kRandom;
     matrix.push_back(setup);
   }
   return matrix;
@@ -173,14 +196,31 @@ core::CcResult run_under(const baselines::AlgorithmEntry& entry,
   const support::ThreadCountGuard thread_scope(
       setup.threads > 0 ? setup.threads : support::num_threads());
 
+  // The reorder leg mirrors the thrifty_cc --reorder pipeline: solve the
+  // relabelled graph, then translate labels back so every downstream
+  // comparison happens in original-id space.
+  reorder::Permutation perm;
+  const CsrGraph* run_graph = &graph;
+  CsrGraph reordered;
+  if (setup.reorder != reorder::OrderKind::kNone) {
+    perm = reorder::make_order(graph, setup.reorder, setup.algorithm_seed);
+    reordered = reorder::apply_permutation(graph, perm);
+    run_graph = &reordered;
+  }
+
   core::CcOptions options;
   options.seed = setup.algorithm_seed;
   core::CcResult result;
   if (setup.density_threshold) {
     options.density_threshold = *setup.density_threshold;
-    result = entry.function(graph, options);
+    result = entry.function(*run_graph, options);
   } else {
-    result = baselines::run_algorithm(entry, graph, options);
+    result = baselines::run_algorithm(entry, *run_graph, options);
+  }
+  if (!perm.empty()) {
+    const std::vector<Label> mapped =
+        reorder::map_labels_back(result.label_span(), perm);
+    std::copy(mapped.begin(), mapped.end(), result.labels.data());
   }
   if (fault.kind != FaultKind::kNone && fault.algorithm == entry.name) {
     apply_fault(fault.kind, {result.labels.data(), result.labels.size()});

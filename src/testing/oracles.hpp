@@ -27,6 +27,7 @@
 #include "cc_baselines/registry.hpp"
 #include "core/cc_common.hpp"
 #include "graph/csr_graph.hpp"
+#include "reorder/reorder.hpp"
 #include "support/topology.hpp"
 #include "testing/scenario.hpp"
 
@@ -53,6 +54,10 @@ struct RunSetup {
   /// are bit-identical to scalar by contract, so the matrix sweeps the
   /// level like any other knob; kAuto uses the widest supported level.
   support::SimdLevel simd = support::SimdLevel::kAuto;
+  /// Vertex reordering applied before the run (reorder/reorder.hpp);
+  /// labels are mapped back to original ids afterwards, so reordering
+  /// must never change the partition.  kNone runs on the graph as-is.
+  reorder::OrderKind reorder = reorder::OrderKind::kNone;
 
   [[nodiscard]] std::string describe() const;
 };

@@ -44,6 +44,7 @@ void write_repro(std::ostream& out, const Repro& repro) {
   out << "placement " << support::to_string(repro.setup.placement)
       << "\n";
   out << "simd " << support::to_string(repro.setup.simd) << "\n";
+  out << "reorder " << reorder::to_string(repro.setup.reorder) << "\n";
   out << "fault " << to_string(repro.fault) << "\n";
   out << "vertices " << repro.num_vertices << "\n";
   out << "edges " << repro.edges.size() << "\n";
@@ -107,6 +108,12 @@ Repro read_repro(std::istream& in) {
       const auto level = support::parse_simd_level(value);
       if (!level) malformed("unknown simd level '" + value + "'");
       repro.setup.simd = *level;
+    } else if (key == "reorder") {
+      // Absent in repro files from before the reorder knob existed; the
+      // RunSetup default (none) covers those.
+      const auto kind = reorder::parse_order_kind(value);
+      if (!kind) malformed("unknown reorder '" + value + "'");
+      repro.setup.reorder = *kind;
     } else if (key == "fault") {
       const auto kind = parse_fault_kind(value);
       if (!kind) malformed("unknown fault kind '" + value + "'");

@@ -61,8 +61,8 @@ TEST(Scenario, GraphPreservesVertexIds) {
 TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
   const std::vector<RunSetup> matrix = perturbation_matrix();
   // 3 threads x 3 hub degrees x 3 thresholds + 2 placement points
-  // + 2 forced-scalar kernel points.
-  EXPECT_EQ(matrix.size(), 31u);
+  // + 2 forced-scalar kernel points + 3 vertex-reorder points.
+  EXPECT_EQ(matrix.size(), 34u);
   EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
                           [](const RunSetup& s) {
                             return s.placement !=
@@ -74,6 +74,11 @@ TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
                             return s.simd == support::SimdLevel::kScalar;
                           }),
             2);
+  EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
+                          [](const RunSetup& s) {
+                            return s.reorder != reorder::OrderKind::kNone;
+                          }),
+            3);
   const RunSetup a = sampled_perturbation(5);
   const RunSetup b = sampled_perturbation(5);
   EXPECT_EQ(a.threads, b.threads);
@@ -216,10 +221,31 @@ TEST_F(InjectedFault, ReproFileRoundTripsAndReplays) {
   EXPECT_EQ(parsed.setup.density_threshold,
             original.setup.density_threshold);
   EXPECT_EQ(parsed.setup.algorithm_seed, original.setup.algorithm_seed);
+  EXPECT_EQ(parsed.setup.reorder, original.setup.reorder);
   EXPECT_EQ(parsed.fault, original.fault);
   EXPECT_EQ(parsed.num_vertices, original.num_vertices);
   ASSERT_EQ(parsed.edges.size(), original.edges.size());
   EXPECT_TRUE(replay_repro(parsed));
+
+  // The reorder dimension persists through the file and the replayed
+  // run still goes through the reorder -> solve -> map-back pipeline.
+  Repro reordered = original;
+  reordered.setup.reorder = reorder::OrderKind::kHubCluster;
+  std::ostringstream reordered_out;
+  write_repro(reordered_out, reordered);
+  std::istringstream reordered_in(reordered_out.str());
+  const Repro reparsed = read_repro(reordered_in);
+  EXPECT_EQ(reparsed.setup.reorder, reorder::OrderKind::kHubCluster);
+  EXPECT_TRUE(replay_repro(reparsed));
+
+  // Files written before the reorder key existed parse as kNone.
+  std::string text = reordered_out.str();
+  const auto line_start = text.find("reorder ");
+  ASSERT_NE(line_start, std::string::npos);
+  text.erase(line_start, text.find('\n', line_start) - line_start + 1);
+  std::istringstream legacy_in(text);
+  EXPECT_EQ(read_repro(legacy_in).setup.reorder,
+            reorder::OrderKind::kNone);
 }
 
 TEST_F(InjectedFault, ReproDirReceivesReplayableFiles) {

@@ -4,21 +4,27 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
+#include <stdexcept>
 
 #include "core/cc_common.hpp"
 #include "core/dolp.hpp"
+#include "core/thrifty.hpp"
 #include "core/verify.hpp"
 #include "core/wavefront_trace.hpp"
 #include "gen/rmat.hpp"
 #include "gen/simple.hpp"
 #include "graph/builder.hpp"
 #include "graph/degree_stats.hpp"
+#include "reorder/relabel.hpp"
 #include "reorder/reorder.hpp"
+#include "support/parallel.hpp"
 
 namespace thrifty::reorder {
 namespace {
 
 using graph::CsrGraph;
+using graph::EdgeOffset;
 using graph::VertexId;
 
 CsrGraph skewed_graph(int scale = 11, int edge_factor = 8) {
@@ -130,6 +136,185 @@ TEST(Reorder, EmptyGraphSafe) {
   const CsrGraph g;
   EXPECT_TRUE(bfs_order(g).empty());
   EXPECT_TRUE(identity_order(0).empty());
+  for (const OrderKind kind : all_order_kinds()) {
+    EXPECT_TRUE(make_order(g, kind).empty()) << to_string(kind);
+  }
+  const CsrGraph h = apply_permutation(g, {});
+  EXPECT_EQ(h.num_vertices(), 0u);
+  EXPECT_EQ(h.num_directed_edges(), 0u);
+}
+
+TEST(Reorder, OrderKindNamesRoundTrip) {
+  for (const OrderKind kind : all_order_kinds()) {
+    const auto parsed = parse_order_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_order_kind("degreee").has_value());
+  EXPECT_FALSE(parse_order_kind("").has_value());
+}
+
+TEST(Reorder, EveryOrderIsBijectionPerRelabelReport) {
+  const CsrGraph g = skewed_graph();
+  for (const OrderKind kind : all_order_kinds()) {
+    const Permutation perm = make_order(g, kind, 7);
+    const RelabelReport report =
+        validate_relabel(perm, g.num_vertices());
+    EXPECT_TRUE(report.ok())
+        << to_string(kind) << ": " << report.to_string();
+  }
+}
+
+TEST(Reorder, OrdersDeterministicAcrossThreadCounts) {
+  const CsrGraph g = skewed_graph(10, 8);
+  for (const OrderKind kind : all_order_kinds()) {
+    Permutation reference;
+    for (const int threads : {1, 2, 3, 4}) {
+      const support::ThreadCountGuard guard(threads);
+      Permutation perm = make_order(g, kind, 7);
+      if (threads == 1) {
+        reference = std::move(perm);
+      } else {
+        EXPECT_EQ(perm, reference)
+            << to_string(kind) << " differs at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(Reorder, ApplyPermutationDeterministicAcrossThreadCounts) {
+  const CsrGraph g = skewed_graph(10, 8);
+  const Permutation perm = hub_cluster_order(g);
+  const support::ThreadCountGuard serial(1);
+  const CsrGraph reference = apply_permutation(g, perm);
+  for (const int threads : {2, 3, 4}) {
+    const support::ThreadCountGuard guard(threads);
+    const CsrGraph h = apply_permutation(g, perm);
+    EXPECT_TRUE(std::equal(reference.offsets().begin(),
+                           reference.offsets().end(),
+                           h.offsets().begin()));
+    EXPECT_TRUE(std::equal(reference.neighbor_array().begin(),
+                           reference.neighbor_array().end(),
+                           h.neighbor_array().begin()))
+        << "neighbors differ at " << threads << " threads";
+  }
+}
+
+TEST(Reorder, DegreeOrdersAreDegreeMonotone) {
+  const CsrGraph g = skewed_graph();
+  const Permutation desc = degree_descending_order(g);
+  const Permutation asc = degree_ascending_order(g);
+  const Permutation by_rank_desc = inverse_permutation(desc);
+  const Permutation by_rank_asc = inverse_permutation(asc);
+  for (VertexId r = 1; r < g.num_vertices(); ++r) {
+    EXPECT_GE(g.degree(by_rank_desc[r - 1]), g.degree(by_rank_desc[r]));
+    EXPECT_LE(g.degree(by_rank_asc[r - 1]), g.degree(by_rank_asc[r]));
+  }
+}
+
+TEST(Reorder, DegreeOrderMatchesSerialStableSortOracle) {
+  const CsrGraph g = skewed_graph(10, 6);
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), VertexId{0});
+  std::stable_sort(ids.begin(), ids.end(), [&](VertexId a, VertexId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  const Permutation perm = degree_descending_order(g);
+  for (VertexId rank = 0; rank < n; ++rank) {
+    EXPECT_EQ(perm[ids[rank]], rank);
+  }
+}
+
+TEST(Reorder, HubClusterLayout) {
+  const CsrGraph g = skewed_graph(10, 8);
+  const EdgeOffset threshold = hub_cluster_auto_threshold(g);
+  const Permutation perm = hub_cluster_order(g);
+  ASSERT_TRUE(is_permutation(perm));
+  const VertexId n = g.num_vertices();
+  VertexId num_hubs = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.degree(v) >= threshold) ++num_hubs;
+  }
+  ASSERT_GT(num_hubs, 0u);
+  const Permutation by_rank = inverse_permutation(perm);
+  // [0, H) is exactly the hubs, in descending degree.
+  for (VertexId r = 0; r < num_hubs; ++r) {
+    EXPECT_GE(g.degree(by_rank[r]), threshold);
+    if (r > 0) {
+      EXPECT_GE(g.degree(by_rank[r - 1]), g.degree(by_rank[r]));
+    }
+  }
+  // Each non-hub is owned by its smallest-rank hub neighbour (n = no hub
+  // neighbour -> fringe).  Owners must be non-decreasing along the rank
+  // axis: clusters are contiguous in hub-rank order, fringe last.
+  const auto owner_of = [&](VertexId v) {
+    VertexId best = n;
+    for (const VertexId u : g.neighbors(v)) {
+      if (perm[u] < num_hubs) best = std::min(best, perm[u]);
+    }
+    return best;
+  };
+  VertexId previous_owner = 0;
+  for (VertexId r = num_hubs; r < n; ++r) {
+    const VertexId owner = owner_of(by_rank[r]);
+    EXPECT_GE(owner, previous_owner) << "cluster not contiguous at " << r;
+    previous_owner = owner;
+  }
+}
+
+TEST(Reorder, WindowOrderStaysInWindowAndSortsByDegree) {
+  const CsrGraph g = skewed_graph(10, 8);
+  const VertexId window = 128;
+  const Permutation perm = window_local_degree_order(g, window);
+  ASSERT_TRUE(is_permutation(perm));
+  const Permutation by_rank = inverse_permutation(perm);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(perm[v] / window, v / window);  // never leaves its window
+  }
+  for (VertexId r = 1; r < g.num_vertices(); ++r) {
+    if (r % window == 0) continue;  // new window starts
+    EXPECT_GE(g.degree(by_rank[r - 1]), g.degree(by_rank[r]));
+  }
+}
+
+TEST(Reorder, ApplyInverseRoundTripsByteIdentical) {
+  const CsrGraph g = skewed_graph(10, 6);
+  const Permutation perm = random_order(g.num_vertices(), 3);
+  const CsrGraph there = apply_permutation(g, perm);
+  const CsrGraph back = apply_permutation(there, inverse_permutation(perm));
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_TRUE(std::equal(g.offsets().begin(), g.offsets().end(),
+                         back.offsets().begin()));
+  EXPECT_TRUE(std::equal(g.neighbor_array().begin(),
+                         g.neighbor_array().end(),
+                         back.neighbor_array().begin()));
+}
+
+TEST(Reorder, ApplyPermutationRejectsNonBijection) {
+  const CsrGraph g = skewed_graph(8, 4);
+  Permutation broken = identity_order(g.num_vertices());
+  broken[1] = broken[0];  // duplicate target, vertex 1's slot lost
+  EXPECT_THROW((void)apply_permutation(g, broken), std::invalid_argument);
+}
+
+TEST(Reorder, MapLabelsBackMatchesSolvingOriginal) {
+  const CsrGraph g = skewed_graph(10, 2);  // sparse: many components
+  const std::vector<graph::Label> reference = [&] {
+    const auto result = core::dolp_cc(g);
+    return core::canonical_labels(result.label_span());
+  }();
+  for (const OrderKind kind :
+       {OrderKind::kDegree, OrderKind::kHubCluster, OrderKind::kRandom}) {
+    const Permutation perm = make_order(g, kind, 23);
+    const CsrGraph reordered = apply_permutation(g, perm);
+    const auto result = core::thrifty_cc(reordered);
+    const std::vector<graph::Label> mapped =
+        map_labels_back(result.label_span(), perm);
+    EXPECT_TRUE(core::same_partition(mapped, reference))
+        << to_string(kind);
+    EXPECT_TRUE(core::verify_labels(g, mapped).valid) << to_string(kind);
+  }
 }
 
 }  // namespace

@@ -13,7 +13,7 @@
 //                 [--no-permutation] [--no-monotonicity]
 //                 [--max-failures=N] [--inject=split|merge]
 //                 [--inject-into=ALGO] [--list-families]
-//                 [--mmap-roundtrip]
+//                 [--mmap-roundtrip] [--reorder=ORDER]
 //   cc_crosscheck --replay=FILE       (exit 1 iff the repro reproduces)
 #include <cstdio>
 #include <fstream>
@@ -36,6 +36,8 @@ constexpr const char* kUsage =
     "                     [--max-failures=N] [--inject=split|merge]\n"
     "                     [--inject-into=ALGO] [--list-families]\n"
     "                     [--mmap-roundtrip]\n"
+    "                     [--reorder=none|degree|degree-asc|hub-cluster|\n"
+    "                                window|bfs|random]\n"
     "       cc_crosscheck --replay=FILE\n";
 
 std::vector<std::string> read_corpus(const std::string& path) {
@@ -83,8 +85,8 @@ int run(int argc, char** argv) {
   const auto unknown = args.unknown_flags(
       {"scenarios", "seed", "perturb", "corpus", "repro-dir", "no-minimize",
        "no-permutation", "no-monotonicity", "max-failures", "inject",
-       "inject-into", "list-families", "mmap-roundtrip", "replay",
-       "help"});
+       "inject-into", "list-families", "mmap-roundtrip", "reorder",
+       "replay", "help"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n%s", unknown.front().c_str(),
                  kUsage);
@@ -111,6 +113,15 @@ int run(int argc, char** argv) {
   options.permutation_oracle = !args.has_flag("no-permutation");
   options.monotonicity_oracle = !args.has_flag("no-monotonicity");
   options.mmap_roundtrip = args.has_flag("mmap-roundtrip");
+  if (const auto order = args.flag("reorder")) {
+    const auto kind = reorder::parse_order_kind(*order);
+    if (!kind) {
+      std::fprintf(stderr, "bad --reorder value '%s'\n%s", order->c_str(),
+                   kUsage);
+      return 2;
+    }
+    options.forced_reorder = *kind;
+  }
   if (const auto dir = args.flag("repro-dir")) options.repro_dir = *dir;
   if (const auto corpus = args.flag("corpus")) {
     options.corpus_specs = read_corpus(*corpus);

@@ -3,8 +3,17 @@
 // and reloaded quickly.
 //
 //   graph_convert <input|gen:spec> <output.{el,bin,mtx}>
+//                 [--reorder=none|degree|degree-asc|hub-cluster|window|
+//                            bfs|random]
 //                 [--permute=identity|degree_desc|degree_asc|bfs|random]
 //                 [--seed=N]
+//
+// --reorder relabels the graph with a reorder/ subsystem order before
+// writing, and drops the permutation next to the output as
+// <output>.perm (reorder/relabel.hpp sidecar format) so expensive
+// orders are computed once and labels can be mapped back by later runs.
+// --permute is the older spelling kept for existing scripts; it does
+// not write a sidecar.
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -13,6 +22,7 @@
 #include "io/binary_io.hpp"
 #include "io/edge_list_io.hpp"
 #include "io/matrix_market_io.hpp"
+#include "reorder/relabel.hpp"
 #include "reorder/reorder.hpp"
 #include "tools/tool_common.hpp"
 
@@ -42,17 +52,45 @@ int run(int argc, char** argv) {
   if (args.positional().size() != 2 || args.has_flag("help")) {
     std::fprintf(stderr,
                  "usage: graph_convert <input|gen:spec> "
-                 "<output.{el,bin,mtx}> [--permute=MODE] [--seed=N]\n");
+                 "<output.{el,bin,mtx}> [--reorder=ORDER] "
+                 "[--permute=MODE] [--seed=N]\n");
     return args.has_flag("help") ? 0 : 2;
   }
-  const auto unknown = args.unknown_flags({"permute", "seed", "help"});
+  const auto unknown =
+      args.unknown_flags({"reorder", "permute", "seed", "help"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
+    return 2;
+  }
+  if (args.flag("reorder") && args.flag("permute")) {
+    std::fprintf(stderr, "--reorder and --permute are exclusive\n");
     return 2;
   }
 
   graph::CsrGraph g = tools::load_graph(args.positional()[0]);
   std::fprintf(stderr, "loaded: %s\n", tools::summarize(g).c_str());
+
+  const std::string& output = args.positional()[1];
+  if (const auto text = args.flag("reorder")) {
+    const auto kind = reorder::parse_order_kind(*text);
+    if (!kind) {
+      std::fprintf(stderr,
+                   "unknown reorder '%s' (expected none | degree | "
+                   "degree-asc | hub-cluster | window | bfs | random)\n",
+                   text->c_str());
+      return 2;
+    }
+    if (*kind != reorder::OrderKind::kNone) {
+      const reorder::Permutation perm = reorder::make_order(
+          g, *kind,
+          static_cast<std::uint64_t>(args.flag_int("seed", 1)));
+      g = reorder::apply_permutation(g, perm);
+      const std::string sidecar = output + ".perm";
+      reorder::write_permutation_file(sidecar, perm);
+      std::fprintf(stderr, "applied %s order, permutation: %s\n",
+                   reorder::to_string(*kind), sidecar.c_str());
+    }
+  }
 
   const std::string mode = args.flag("permute").value_or("identity");
   if (mode != "identity") {
@@ -75,7 +113,6 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "applied %s permutation\n", mode.c_str());
   }
 
-  const std::string& output = args.positional()[1];
   if (ends_with(output, ".bin")) {
     io::write_csr_file(output, g);
   } else if (ends_with(output, ".mtx")) {
