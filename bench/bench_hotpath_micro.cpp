@@ -34,6 +34,7 @@
 #include "io/binary_io.hpp"
 #include "io/mmap_io.hpp"
 #include "reorder/reorder.hpp"
+#include "serve/service.hpp"
 #include "support/env.hpp"
 #include "support/parallel.hpp"
 #include "support/random.hpp"
@@ -605,6 +606,96 @@ int run(int argc, char** argv) {
                    bench::TablePrinter::fmt_ms(nosplit_ms),
                    bench::TablePrinter::fmt_ms(split_ms),
                    bench::TablePrinter::fmt_ratio(nosplit_ms / split_ms)});
+  }
+
+  // --- Serving layer.  serve_query: the same query stream answered with
+  // one snapshot pin per query (the naive client) vs one pinned snapshot
+  // for the whole burst.  serve_ingest_batch: the stream absorbed by
+  // concurrent union-find hooks vs a full static re-solve after every
+  // batch (staleness_edges=1, the pre-service behaviour).
+  {
+    graph::BuildOptions keep;
+    keep.remove_zero_degree_vertices = false;  // stable id space
+    const std::size_t base_count = edges.size() * 6 / 10;
+    const EdgeList base_edges(
+        edges.begin(), edges.begin() + static_cast<std::ptrdiff_t>(base_count));
+    const CsrGraph base = graph::build_csr(base_edges, id_space, keep).graph;
+
+    {
+      serve::ConnectivityService service(
+          graph::build_csr(edges, id_space, keep).graph);
+      constexpr std::uint64_t kQueries = 1u << 16;
+      const auto query_burst = [&](auto&& same_component) {
+        std::uint64_t state = 0x5eed5eedull;
+        std::uint64_t hits = 0;
+        for (std::uint64_t q = 0; q < kQueries; ++q) {
+          state = support::hash_mix(state, q);
+          const auto u = static_cast<VertexId>(state % id_space);
+          const auto v = static_cast<VertexId>((state >> 17) % id_space);
+          hits += same_component(u, v) ? 1 : 0;
+        }
+        return hits;
+      };
+      std::uint64_t per_query_hits = 0;
+      std::uint64_t pinned_hits = 0;
+      const double baseline_ms = min_time_ms(trials, [&] {
+        per_query_hits = query_burst([&](VertexId u, VertexId v) {
+          return service.same_component(u, v);  // pins per query
+        });
+      });
+      const double optimized_ms = min_time_ms(trials, [&] {
+        const serve::SnapshotPtr snapshot = service.snapshot();
+        pinned_hits = query_burst([&](VertexId u, VertexId v) {
+          return snapshot->same_component(u, v);
+        });
+      });
+      if (per_query_hits != pinned_hits) {
+        std::fprintf(stderr, "FATAL: query paths disagree\n");
+        std::abort();
+      }
+      report.add_comparison("serve_query", baseline_ms, optimized_ms);
+      table.add_row({"serve_query (pin-per-query/pinned)",
+                     bench::TablePrinter::fmt_ms(baseline_ms),
+                     bench::TablePrinter::fmt_ms(optimized_ms),
+                     bench::TablePrinter::fmt_ratio(baseline_ms /
+                                                    optimized_ms)});
+    }
+
+    {
+      const std::span<const Edge> stream{edges.data() + base_count,
+                                         edges.size() - base_count};
+      constexpr std::size_t kBatch = 2048;
+      const auto ingest_stream = [&](const serve::ServeOptions& options) {
+        serve::ConnectivityService service(CsrGraph(base), options);
+        for (std::size_t i = 0; i < stream.size(); i += kBatch) {
+          (void)service.ingest_batch(
+              stream.subspan(i, std::min(kBatch, stream.size() - i)));
+        }
+        const serve::SnapshotPtr snapshot = service.snapshot();
+        return std::vector<Label>(snapshot->labels().begin(),
+                                  snapshot->labels().end());
+      };
+      serve::ServeOptions resolve_each_batch;
+      resolve_each_batch.staleness_edges = 1;
+      serve::ServeOptions hooks_only;
+      hooks_only.auto_recompact = false;
+      std::vector<Label> resolve_labels;
+      std::vector<Label> hook_labels;
+      const double baseline_ms = min_time_ms(
+          trials, [&] { resolve_labels = ingest_stream(resolve_each_batch); });
+      const double optimized_ms = min_time_ms(
+          trials, [&] { hook_labels = ingest_stream(hooks_only); });
+      if (!core::same_partition(resolve_labels, hook_labels)) {
+        std::fprintf(stderr, "FATAL: ingest paths disagree\n");
+        std::abort();
+      }
+      report.add_comparison("serve_ingest_batch", baseline_ms, optimized_ms);
+      table.add_row({"serve_ingest_batch (re-solve/hooks)",
+                     bench::TablePrinter::fmt_ms(baseline_ms),
+                     bench::TablePrinter::fmt_ms(optimized_ms),
+                     bench::TablePrinter::fmt_ratio(baseline_ms /
+                                                    optimized_ms)});
+    }
   }
 
   table.print();

@@ -37,15 +37,17 @@ core::CcResult afforest_cc(const graph::CsrGraph& graph,
     hook::compress(comp, n);
   }
 
-  // Phase 2: estimate the giant component from a vertex sample.
-  const Label giant = hook::sample_frequent_component(
+  // Phase 2: estimate the giant component from a vertex sample.  With a
+  // zero sample budget there is no estimate — skip nothing and finish
+  // every vertex (correct, just without the giant-skipping speedup).
+  const std::optional<Label> giant = hook::sample_frequent_component(
       comp, n, options.component_sample_size, options.seed);
 
   // Phase 3: finish the unsampled edges of vertices outside the giant
   // component; members of the giant component are skipped entirely.
 #pragma omp parallel for schedule(dynamic, 256)
   for (VertexId v = 0; v < n; ++v) {
-    if (core::load_label(comp[v]) == giant) continue;
+    if (giant && core::load_label(comp[v]) == *giant) continue;
     const auto neighbors = graph.neighbors(v);
     for (std::size_t i = rounds; i < neighbors.size(); ++i) {
       hook::link(v, neighbors[i], comp);

@@ -1,11 +1,37 @@
 // Shared concurrent min-hooking primitives for the union-find-based
-// algorithms (Afforest, the sampled hybrid): lock-free linking with
-// on-the-fly compression, pointer-jumping compression passes, and
+// algorithms (Afforest, the sampled hybrid) and the incremental ingest
+// path of the serving layer: lock-free linking with on-the-fly
+// compression, pointer-jumping compression passes, and
 // most-frequent-component sampling.
+//
+// Memory-ordering contract (audited for the concurrent-ingest path of
+// src/serve/, where reader threads coexist with hooking writers):
+//
+//   * All label loads, stores and CASes below are relaxed.  That is
+//     sufficient *within* a hooking phase because the forest is a
+//     monotone structure — parent labels only ever decrease, no other
+//     data is published through them, and link/compress converge to the
+//     same fixed point under any interleaving of relaxed operations
+//     (the same argument as core::atomic_min).
+//   * Between phases (link rounds, compress sweeps) the callers
+//     synchronise via the implicit barrier at the end of each OpenMP
+//     parallel-for region, which establishes the happens-before edges a
+//     subsequent phase needs to observe the previous one completely.
+//   * Across the reader/writer boundary relaxed is NOT sufficient, and
+//     no ordering is added here by design: concurrent readers must
+//     never observe a forest mid-hook.  The serving layer upholds this
+//     by keeping the forest private to the (serialised) writer and
+//     publishing immutable label snapshots through an
+//     atomic<shared_ptr> exchange, whose release store / acquire load
+//     pair carries every forest write to every subsequent reader (see
+//     serve::ConnectivityService).  Any new caller that lets foreign
+//     threads read a forest while hooks run must add its own
+//     release/acquire publication edge.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <unordered_map>
 
 #include "core/cc_common.hpp"
@@ -48,11 +74,14 @@ inline void compress(core::LabelArray& comp, graph::VertexId n) {
 }
 
 /// Most frequent component id among a random vertex sample — almost
-/// surely the giant component on skewed graphs (Table I).
-inline graph::Label sample_frequent_component(const core::LabelArray& comp,
-                                              graph::VertexId n,
-                                              std::uint32_t samples,
-                                              std::uint64_t seed) {
+/// surely the giant component on skewed graphs (Table I).  Returns
+/// nullopt when there is nothing to sample (empty id space or a zero
+/// sample budget); previously this sampled into an empty range and
+/// could hand callers an arbitrary label to "skip".
+[[nodiscard]] inline std::optional<graph::Label> sample_frequent_component(
+    const core::LabelArray& comp, graph::VertexId n, std::uint32_t samples,
+    std::uint64_t seed) {
+  if (n == 0 || samples == 0) return std::nullopt;
   support::Xoshiro256StarStar rng(seed);
   std::unordered_map<graph::Label, std::uint32_t> counts;
   counts.reserve(samples * 2);

@@ -55,7 +55,10 @@ core::CcResult sampled_lp_cc(const graph::CsrGraph& graph,
     }
     hook::compress(comp, n);
   }
-  const Label giant = hook::sample_frequent_component(
+  // With a zero sample budget there is no giant estimate: no component
+  // receives the planted 0 and the LP finish simply converges without
+  // the bottom-label early exit (slower, still correct).
+  const std::optional<Label> giant = hook::sample_frequent_component(
       comp, n, options.component_sample_size, options.seed);
 
   // Seed labels: 0 across the estimated giant (region-wide Zero
@@ -64,7 +67,7 @@ core::CcResult sampled_lp_cc(const graph::CsrGraph& graph,
 #pragma omp parallel for schedule(static)
   for (VertexId v = 0; v < n; ++v) {
     const Label root = core::load_label(comp[v]);
-    comp[v] = (root == giant) ? 0 : root + 1;
+    comp[v] = (giant && root == *giant) ? 0 : root + 1;
   }
 
   // Phase 2: label-propagation finish over the unsampled connectivity.

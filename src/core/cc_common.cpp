@@ -92,6 +92,21 @@ std::vector<std::uint64_t> component_sizes(std::span<const Label> labels) {
   return sizes;
 }
 
+std::vector<LargestComponent> component_census(
+    std::span<const Label> labels) {
+  std::unordered_map<Label, std::uint64_t> counts;
+  counts.reserve(labels.size() / 16 + 8);
+  for (const Label l : labels) ++counts[l];
+  std::vector<LargestComponent> census;
+  census.reserve(counts.size());
+  for (const auto& [label, size] : counts) census.push_back({label, size});
+  std::sort(census.begin(), census.end(),
+            [](const LargestComponent& a, const LargestComponent& b) {
+              return a.size != b.size ? a.size > b.size : a.label < b.label;
+            });
+  return census;
+}
+
 LargestComponent largest_component(std::span<const Label> labels) {
   std::unordered_map<Label, std::uint64_t> sizes;
   sizes.reserve(labels.size() / 16 + 8);

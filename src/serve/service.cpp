@@ -1,0 +1,235 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cc_baselines/concurrent_hook.hpp"
+#include "cc_baselines/reference_cc.hpp"
+#include "core/thrifty.hpp"
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace thrifty::serve {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::EdgeOffset;
+using graph::Label;
+using graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+Snapshot::Snapshot(std::uint64_t epoch, std::vector<Label> labels)
+    : epoch_(epoch), labels_(std::move(labels)) {
+  const auto census = core::component_census(labels_);
+  census_.reserve(census.size());
+  size_by_label_.reserve(census.size() * 2);
+  for (const core::LargestComponent& c : census) {
+    census_.push_back({c.label, c.size});
+    size_by_label_.emplace(c.label, c.size);
+  }
+}
+
+bool Snapshot::same_component(VertexId u, VertexId v) const {
+  THRIFTY_EXPECTS(u < labels_.size() && v < labels_.size());
+  return labels_[u] == labels_[v];
+}
+
+std::uint64_t Snapshot::component_size(VertexId v) const {
+  THRIFTY_EXPECTS(v < labels_.size());
+  return size_by_label_.at(labels_[v]);
+}
+
+std::vector<ComponentInfo> Snapshot::top_components(std::uint64_t k) const {
+  const auto count = std::min<std::uint64_t>(k, census_.size());
+  return {census_.begin(),
+          census_.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+// ---------------------------------------------------------------------------
+// ConnectivityService
+
+ConnectivityService::ConnectivityService(graph::CsrGraph graph,
+                                         ServeOptions options)
+    : options_(options),
+      num_vertices_(graph.num_vertices()),
+      base_(std::move(graph)),
+      forest_(core::make_label_array(num_vertices_)) {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  // The initial static solve is a recompaction with an empty overlay,
+  // minus the CSR rebuild (base_ is already the accumulated graph).
+  const core::CcResult solved = core::thrifty_cc(base_, options_.cc);
+  const std::vector<Label> canonical =
+      core::canonical_labels(solved.label_span());
+  core::copy_labels(canonical, {forest_.data(), forest_.size()});
+  publish_locked();
+}
+
+SnapshotPtr ConnectivityService::snapshot() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+bool ConnectivityService::same_component(VertexId u, VertexId v) const {
+  return snapshot()->same_component(u, v);
+}
+
+std::uint64_t ConnectivityService::component_size(VertexId v) const {
+  return snapshot()->component_size(v);
+}
+
+std::uint64_t ConnectivityService::component_count() const {
+  return snapshot()->component_count();
+}
+
+std::vector<ComponentInfo> ConnectivityService::top_components(
+    std::uint64_t k) const {
+  return snapshot()->top_components(k);
+}
+
+IngestReport ConnectivityService::ingest_batch(
+    std::span<const Edge> edges) {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  IngestReport report;
+
+  EdgeList accepted;
+  accepted.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u >= num_vertices_ || e.v >= num_vertices_) {
+      ++report.rejected;
+    } else if (e.u == e.v) {
+      ++report.self_loops;  // trivially connected; nothing to hook
+    } else {
+      accepted.push_back(e);
+    }
+  }
+  report.accepted = accepted.size();
+  ingested_edges_ += report.accepted;
+  rejected_edges_ += report.rejected;
+
+  if (accepted.empty()) {
+    // Nothing changed connectivity; keep the current epoch.
+    report.epoch = snapshot()->epoch();
+    return report;
+  }
+
+  const std::uint64_t components_before = snapshot()->component_count();
+
+  // Parallel min-hooking of the batch into the private forest.  The
+  // forest is canonical at rest and min-hooking keeps roots at class
+  // minima, so after the compress sweep it is canonical again — ready
+  // to publish without a relabelling pass.
+  const auto batch = static_cast<std::int64_t>(accepted.size());
+#pragma omp parallel for schedule(dynamic, 256)
+  for (std::int64_t i = 0; i < batch; ++i) {
+    baselines::hook::link(accepted[static_cast<std::size_t>(i)].u,
+                          accepted[static_cast<std::size_t>(i)].v, forest_);
+  }
+  baselines::hook::compress(forest_, num_vertices_);
+
+  overlay_.insert(overlay_.end(), accepted.begin(), accepted.end());
+
+  if (options_.auto_recompact &&
+      overlay_.size() >= staleness_trigger_locked()) {
+    recompact_locked();
+    report.recompacted = true;
+  } else {
+    publish_locked();
+  }
+
+  const SnapshotPtr now = snapshot();
+  report.epoch = now->epoch();
+  report.merges = components_before - now->component_count();
+  return report;
+}
+
+std::uint64_t ConnectivityService::recompact() {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  recompact_locked();
+  return snapshot()->epoch();
+}
+
+void ConnectivityService::recompact_locked() {
+  // Fold the overlay into the CSR (counting-sort rebuild, ids stay
+  // stable: no zero-degree compaction) and re-run the static solver.
+  graph::BuildOptions build;
+  build.remove_zero_degree_vertices = false;
+  base_ = graph::build_csr(accumulated_edges_locked(), num_vertices_, build)
+              .graph;
+  overlay_.clear();
+  const core::CcResult solved = core::thrifty_cc(base_, options_.cc);
+  const std::vector<Label> canonical =
+      core::canonical_labels(solved.label_span());
+  core::copy_labels(canonical, {forest_.data(), forest_.size()});
+  ++recompactions_;
+  publish_locked();
+}
+
+void ConnectivityService::publish_locked() {
+  std::vector<Label> labels(forest_.size());
+  core::copy_labels({forest_.data(), forest_.size()}, labels);
+  // The release store pairs with the acquire load in snapshot(): every
+  // forest write above happens-before any reader's use of this epoch.
+  current_.store(std::make_shared<const Snapshot>(next_epoch_++,
+                                                  std::move(labels)),
+                 std::memory_order_release);
+}
+
+std::uint64_t ConnectivityService::staleness_trigger_locked() const {
+  if (options_.staleness_edges > 0) return options_.staleness_edges;
+  const auto derived = static_cast<std::uint64_t>(
+      options_.staleness_fraction *
+      static_cast<double>(base_.num_undirected_edges()));
+  return std::max<std::uint64_t>(derived, 1);
+}
+
+EdgeList ConnectivityService::accumulated_edges_locked() const {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(base_.num_undirected_edges()) +
+                overlay_.size());
+  for (VertexId v = 0; v < base_.num_vertices(); ++v) {
+    for (const VertexId u : base_.neighbors(v)) {
+      if (u >= v) edges.push_back({v, u});
+    }
+  }
+  edges.insert(edges.end(), overlay_.begin(), overlay_.end());
+  return edges;
+}
+
+EdgeList ConnectivityService::accumulated_edges() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  return accumulated_edges_locked();
+}
+
+bool ConnectivityService::verify_against_reference() const {
+  EdgeList edges;
+  SnapshotPtr snap;
+  {
+    const std::lock_guard<std::mutex> lock(writer_mutex_);
+    edges = accumulated_edges_locked();
+    snap = snapshot();
+  }
+  graph::BuildOptions build;
+  build.remove_zero_degree_vertices = false;
+  const graph::CsrGraph accumulated =
+      graph::build_csr(edges, num_vertices_, build).graph;
+  const core::CcResult reference = baselines::reference_cc(accumulated);
+  return core::same_partition(snap->labels(), reference.label_span());
+}
+
+ServiceStats ConnectivityService::stats() const {
+  const std::lock_guard<std::mutex> lock(writer_mutex_);
+  ServiceStats stats;
+  const SnapshotPtr now = snapshot();
+  stats.epoch = now->epoch();
+  stats.recompactions = recompactions_;
+  stats.ingested_edges = ingested_edges_;
+  stats.rejected_edges = rejected_edges_;
+  stats.pending_edges = overlay_.size();
+  stats.base_edges = base_.num_undirected_edges();
+  stats.components = now->component_count();
+  stats.num_vertices = num_vertices_;
+  return stats;
+}
+
+}  // namespace thrifty::serve

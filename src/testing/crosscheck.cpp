@@ -54,6 +54,17 @@ bool still_fails(const baselines::AlgorithmEntry& entry,
   return !core::same_partition(result.label_span(), reference);
 }
 
+/// Service-oracle analogue of still_fails: "service" is not a registry
+/// algorithm, so its failures minimize and replay through a fresh
+/// check_service_ingest run against a recomputed reference.
+bool service_still_fails(const RunSetup& setup, const EdgeList& edges,
+                         VertexId num_vertices) {
+  const CsrGraph graph = graph_from_edges(edges, num_vertices);
+  const std::vector<Label> reference = reference_partition(graph);
+  return check_service_ingest(edges, num_vertices, reference, setup)
+      .has_value();
+}
+
 }  // namespace
 
 CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
@@ -81,12 +92,15 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
 
     const baselines::AlgorithmEntry* entry =
         baselines::find_algorithm(failure.algorithm);
-    if (options.minimize && entry != nullptr) {
+    const bool is_service = failure.algorithm == "service";
+    if (options.minimize && (entry != nullptr || is_service)) {
       const Fault fault{repro.fault, failure.algorithm};
       const FailurePredicate fails = [&](const EdgeList& candidate,
                                          VertexId candidate_vertices) {
-        return still_fails(*entry, setup, fault, candidate,
-                           candidate_vertices);
+        return is_service
+                   ? service_still_fails(setup, candidate, candidate_vertices)
+                   : still_fails(*entry, setup, fault, candidate,
+                                 candidate_vertices);
       };
       // Guard against a failure that does not reproduce through the
       // reference predicate (a non-deterministic bug the sweep caught on
@@ -186,6 +200,15 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
         return;
       }
     }
+    if (options.service_oracle) {
+      summary.algorithm_runs += 1;
+      if (const auto failure = check_service_ingest(
+              scenario.edges, scenario.num_vertices, reference, base)) {
+        record(scenario, base, *failure, scenario.edges,
+               scenario.num_vertices);
+        return;
+      }
+    }
   };
 
   for (const std::string& spec : options.corpus_specs) {
@@ -210,6 +233,9 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
 }
 
 bool replay_repro(const Repro& repro) {
+  if (repro.algorithm == "service") {
+    return service_still_fails(repro.setup, repro.edges, repro.num_vertices);
+  }
   const baselines::AlgorithmEntry* entry =
       baselines::find_algorithm(repro.algorithm);
   if (entry == nullptr) {

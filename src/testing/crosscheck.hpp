@@ -29,6 +29,11 @@ struct CrosscheckOptions {
 
   bool permutation_oracle = true;
   bool monotonicity_oracle = true;
+  /// Serving-layer oracle: half the edges solved statically, half
+  /// ingested through the concurrent hooks, partitions checked for
+  /// batch coarsening and post-recompaction agreement with the
+  /// union-find reference (check_service_ingest).
+  bool service_oracle = true;
 
   /// Round-trip every scenario graph through a binary snapshot and the
   /// zero-copy mmap loader before running the oracles, so the whole

@@ -9,6 +9,7 @@
 #include "gen/combine.hpp"
 #include "graph/builder.hpp"
 #include "reorder/relabel.hpp"
+#include "serve/service.hpp"
 #include "support/parallel.hpp"
 #include "support/random.hpp"
 #include "support/run_config.hpp"
@@ -359,6 +360,94 @@ std::optional<OracleFailure> check_edge_addition_monotonicity(
               " split away from its component after edge addition under " +
               setup.describe());
     }
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> check_service_ingest(
+    const graph::EdgeList& edges, VertexId num_vertices,
+    std::span<const Label> reference, const RunSetup& setup) {
+  // Apply the schedule point exactly as run_under does for registry
+  // algorithms; the service's internal solves and hook sweeps then run
+  // under the perturbed width / hub split / kernel level.
+  support::RunConfig config = support::run_config();
+  config.hub_split_degree = setup.hub_split_degree;
+  config.placement = setup.placement;
+  config.simd = setup.simd;
+  const support::RunConfigOverride config_scope(config);
+  const support::ThreadCountGuard thread_scope(
+      setup.threads > 0 ? setup.threads : support::num_threads());
+
+  const auto fail = [&](std::string detail) {
+    OracleFailure failure;
+    failure.oracle = "service";
+    failure.algorithm = "service";
+    failure.detail = std::move(detail) + " under " + setup.describe();
+    return failure;
+  };
+
+  // Deterministic Fisher–Yates split: first half solved statically, the
+  // rest ingested in (up to) three hook batches.
+  graph::EdgeList shuffled = edges;
+  support::Xoshiro256StarStar rng(
+      support::hash_mix(setup.algorithm_seed, 0x5e71ull));
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+  }
+  const std::size_t static_count = shuffled.size() / 2;
+
+  Scenario static_shim;
+  static_shim.num_vertices = num_vertices;
+  static_shim.edges.assign(
+      shuffled.begin(),
+      shuffled.begin() + static_cast<std::ptrdiff_t>(static_count));
+
+  serve::ServeOptions options;
+  options.auto_recompact = false;  // the forced recompact below decides
+  options.cc.seed = setup.algorithm_seed;
+  if (setup.density_threshold) {
+    options.cc.density_threshold = *setup.density_threshold;
+  }
+  serve::ConnectivityService service(build_scenario_graph(static_shim),
+                                     options);
+
+  serve::SnapshotPtr previous = service.snapshot();
+  const std::size_t remaining = shuffled.size() - static_count;
+  const std::size_t batch = std::max<std::size_t>(1, (remaining + 2) / 3);
+  for (std::size_t begin = static_count; begin < shuffled.size();
+       begin += batch) {
+    const std::size_t count = std::min(batch, shuffled.size() - begin);
+    (void)service.ingest_batch(
+        std::span<const graph::Edge>(shuffled).subspan(begin, count));
+    const serve::SnapshotPtr now = service.snapshot();
+    // Ingest may only merge: all members of each pre-batch class must
+    // share a post-batch label (labels are canonical, so class ids
+    // index directly).
+    constexpr Label kUnset = std::numeric_limits<Label>::max();
+    std::vector<Label> witness(num_vertices, kUnset);
+    const auto old_labels = previous->labels();
+    const auto new_labels = now->labels();
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      const Label cls = old_labels[v];
+      if (witness[cls] == kUnset) {
+        witness[cls] = new_labels[v];
+      } else if (witness[cls] != new_labels[v]) {
+        return fail("ingest batch split vertex " + std::to_string(v) +
+                    " away from its component");
+      }
+    }
+    previous = now;
+  }
+
+  if (!core::same_partition(service.snapshot()->labels(), reference)) {
+    return fail(
+        "fully-ingested service partition differs from union-find "
+        "reference");
+  }
+  (void)service.recompact();
+  if (!core::same_partition(service.snapshot()->labels(), reference)) {
+    return fail(
+        "post-recompaction partition differs from union-find reference");
   }
   return std::nullopt;
 }

@@ -136,6 +136,19 @@ struct OracleFailure {
     const Scenario& scenario, std::span<const graph::Label> reference,
     const RunSetup& setup, std::uint64_t extra_edge_seed);
 
+/// Oracle 5 (serving layer): replays the edge set through a
+/// serve::ConnectivityService — static Thrifty solve on half the edges,
+/// the rest ingested in batches via the concurrent union-find hooks —
+/// checking that every batch only coarsens the published partition,
+/// that the fully-ingested partition equals `reference` (which must be
+/// reference_partition over all the edges), and that a forced full
+/// recompaction reproduces it exactly.  Deterministic in (edges,
+/// setup.algorithm_seed); setup.reorder is ignored (the service has no
+/// reorder dimension).
+[[nodiscard]] std::optional<OracleFailure> check_service_ingest(
+    const graph::EdgeList& edges, graph::VertexId num_vertices,
+    std::span<const graph::Label> reference, const RunSetup& setup);
+
 // The derived edge lists the permutation and monotonicity oracles run
 // on, exposed so a failure can be re-materialised into a replayable
 // repro: a violation of either oracle implies the implicated algorithm

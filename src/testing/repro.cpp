@@ -1,5 +1,6 @@
 #include "testing/repro.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -126,7 +127,15 @@ Repro read_repro(std::istream& in) {
       have_edges = true;
       break;  // edge section follows
     } else {
-      malformed("unknown key '" + key + "'");
+      // Forward compatibility: a newer writer may emit keys this reader
+      // does not know (the placement/simd/reorder knobs were all added
+      // after v1).  Skip with a warning rather than hard-failing, so old
+      // binaries can still replay new repro files; the known keys above
+      // fully determine the run.
+      std::fprintf(stderr,
+                   "repro file: skipping unknown key '%s' "
+                   "(written by a newer version?)\n",
+                   key.c_str());
     }
   }
   if (!have_vertices || !have_edges) {

@@ -48,7 +48,9 @@ void write_repro(std::ostream& out, const Repro& repro);
 void write_repro_file(const std::string& path, const Repro& repro);
 
 /// Parses a repro.  Throws std::runtime_error on malformed input
-/// (unknown key, missing section, endpoint out of range).
+/// (bad value for a known key, missing section, endpoint out of range).
+/// Unknown keys are forward-compatible: warned about on stderr and
+/// skipped, so older binaries can replay files from newer writers.
 [[nodiscard]] Repro read_repro(std::istream& in);
 [[nodiscard]] Repro read_repro_file(const std::string& path);
 

@@ -275,11 +275,6 @@ TEST(Repro, RejectsMalformedInput) {
     EXPECT_THROW((void)read_repro(in), std::runtime_error);
   }
   {
-    std::istringstream in(
-        "# cc_crosscheck repro v1\nbogus_key 1\nvertices 2\nedges 0\n");
-    EXPECT_THROW((void)read_repro(in), std::runtime_error);
-  }
-  {
     // Truncated edge section.
     std::istringstream in(
         "# cc_crosscheck repro v1\nalgorithm thrifty\nfault none\n"
@@ -293,6 +288,75 @@ TEST(Repro, RejectsMalformedInput) {
         "vertices 2\nedges 1\n0 5\n");
     EXPECT_THROW((void)read_repro(in), std::runtime_error);
   }
+}
+
+TEST(Repro, UnknownKeysAreSkippedNotFatal) {
+  // Newer-writer direction: a file carrying keys this reader has never
+  // heard of must still parse — the unknown lines are warned about and
+  // skipped, and every known key keeps its effect regardless of where
+  // the unknown ones appear.
+  std::istringstream in(
+      "# cc_crosscheck repro v1\n"
+      "future_knob enabled\n"
+      "algorithm thrifty\n"
+      "shiny_new_policy aggressive 3 levels\n"
+      "threads 2\n"
+      "vertices 3\n"
+      "edges 1\n"
+      "0 1\n");
+  const Repro repro = read_repro(in);
+  EXPECT_EQ(repro.algorithm, "thrifty");
+  EXPECT_EQ(repro.setup.threads, 2);
+  EXPECT_EQ(repro.num_vertices, 3u);
+  ASSERT_EQ(repro.edges.size(), 1u);
+
+  // A bad value on a *known* key is still a hard error: skipping it
+  // would silently change what the repro replays.
+  std::istringstream bad_known(
+      "# cc_crosscheck repro v1\nsimd warp9\nvertices 2\nedges 0\n");
+  EXPECT_THROW((void)read_repro(bad_known), std::runtime_error);
+}
+
+TEST(Repro, RoundTripsForwardAndBackward) {
+  Repro repro;
+  repro.scenario_spec = "gen:path:n=4";
+  repro.oracle = "cross_algorithm";
+  repro.algorithm = "thrifty";
+  repro.detail = "detail with spaces";
+  repro.setup.threads = 2;
+  repro.setup.algorithm_seed = 99;
+  repro.num_vertices = 4;
+  repro.edges = {{0, 1}, {2, 3}};
+
+  // Forward: today's writer + a "newer" key -> today's reader.
+  std::ostringstream out;
+  write_repro(out, repro);
+  std::string text = out.str();
+  const auto vertices_at = text.find("vertices ");
+  ASSERT_NE(vertices_at, std::string::npos);
+  text.insert(vertices_at, "from_the_future 42\n");
+  std::istringstream forward(text);
+  const Repro reread = read_repro(forward);
+  EXPECT_EQ(reread.algorithm, repro.algorithm);
+  EXPECT_EQ(reread.detail, repro.detail);
+  EXPECT_EQ(reread.setup.threads, repro.setup.threads);
+  EXPECT_EQ(reread.setup.algorithm_seed, repro.setup.algorithm_seed);
+  EXPECT_EQ(reread.num_vertices, repro.num_vertices);
+  ASSERT_EQ(reread.edges.size(), repro.edges.size());
+
+  // Backward: an "older" file missing optional keys parses with the
+  // RunSetup defaults filling the gaps.
+  std::istringstream backward(
+      "# cc_crosscheck repro v1\n"
+      "algorithm thrifty\n"
+      "vertices 2\n"
+      "edges 1\n"
+      "0 1\n");
+  const Repro legacy = read_repro(backward);
+  EXPECT_EQ(legacy.setup.placement, support::Placement::kFirstTouch);
+  EXPECT_EQ(legacy.setup.simd, support::SimdLevel::kAuto);
+  EXPECT_EQ(legacy.setup.reorder, reorder::OrderKind::kNone);
+  EXPECT_EQ(legacy.fault, FaultKind::kNone);
 }
 
 TEST(Repro, ReplayRejectsUnknownAlgorithm) {

@@ -10,7 +10,7 @@
 //
 //   cc_crosscheck [--scenarios=N] [--seed=S] [--perturb=none|sampled|all]
 //                 [--corpus=FILE] [--repro-dir=DIR] [--no-minimize]
-//                 [--no-permutation] [--no-monotonicity]
+//                 [--no-permutation] [--no-monotonicity] [--no-service]
 //                 [--max-failures=N] [--inject=split|merge]
 //                 [--inject-into=ALGO] [--list-families]
 //                 [--mmap-roundtrip] [--reorder=ORDER]
@@ -33,7 +33,8 @@ constexpr const char* kUsage =
     "                     [--perturb=none|sampled|all] [--corpus=FILE]\n"
     "                     [--repro-dir=DIR] [--no-minimize]\n"
     "                     [--no-permutation] [--no-monotonicity]\n"
-    "                     [--max-failures=N] [--inject=split|merge]\n"
+    "                     [--no-service] [--max-failures=N]\n"
+    "                     [--inject=split|merge]\n"
     "                     [--inject-into=ALGO] [--list-families]\n"
     "                     [--mmap-roundtrip]\n"
     "                     [--reorder=none|degree|degree-asc|hub-cluster|\n"
@@ -84,8 +85,8 @@ int run(int argc, char** argv) {
   }
   const auto unknown = args.unknown_flags(
       {"scenarios", "seed", "perturb", "corpus", "repro-dir", "no-minimize",
-       "no-permutation", "no-monotonicity", "max-failures", "inject",
-       "inject-into", "list-families", "mmap-roundtrip", "reorder",
+       "no-permutation", "no-monotonicity", "no-service", "max-failures",
+       "inject", "inject-into", "list-families", "mmap-roundtrip", "reorder",
        "replay", "help"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n%s", unknown.front().c_str(),
@@ -112,6 +113,7 @@ int run(int argc, char** argv) {
   options.minimize = !args.has_flag("no-minimize");
   options.permutation_oracle = !args.has_flag("no-permutation");
   options.monotonicity_oracle = !args.has_flag("no-monotonicity");
+  options.service_oracle = !args.has_flag("no-service");
   options.mmap_roundtrip = args.has_flag("mmap-roundtrip");
   if (const auto order = args.flag("reorder")) {
     const auto kind = reorder::parse_order_kind(*order);
