@@ -33,6 +33,8 @@
 #include "graph/builder.hpp"
 #include "io/binary_io.hpp"
 #include "io/mmap_io.hpp"
+#include "plan/plan.hpp"
+#include "plan/solve.hpp"
 #include "reorder/reorder.hpp"
 #include "serve/service.hpp"
 #include "support/env.hpp"
@@ -606,6 +608,39 @@ int run(int argc, char** argv) {
                    bench::TablePrinter::fmt_ms(nosplit_ms),
                    bench::TablePrinter::fmt_ms(split_ms),
                    bench::TablePrinter::fmt_ratio(nosplit_ms / split_ms)});
+  }
+
+  // --- Adaptive planner on the star-dominated graph: the
+  // direction-naive static frontier script (bootstrap pull, then push
+  // every iteration — the classic frontier LP shape) vs the auto plan's
+  // density switching + sampled-giant cutover.  Partitions are
+  // cross-checked before timing.
+  {
+    const CsrGraph g = graph::build_csr(edges, id_space).graph;
+    const core::CcOptions cc_options;
+    const plan::PlanSpec fixed = plan::parse_plan_spec("fixed:pullf,push");
+    const plan::PlanSpec automatic = plan::parse_plan_spec("auto");
+    const plan::PlanResult from_fixed =
+        plan::solve_with_plan(g, cc_options, fixed);
+    const plan::PlanResult from_auto =
+        plan::solve_with_plan(g, cc_options, automatic);
+    if (!core::same_partition(from_fixed.result.label_span(),
+                              from_auto.result.label_span())) {
+      std::fprintf(stderr, "FATAL: plan paths disagree — refusing to time\n");
+      std::abort();
+    }
+    const double baseline_ms = min_time_ms(trials, [&] {
+      (void)plan::solve_with_plan(g, cc_options, fixed);
+    });
+    const double optimized_ms = min_time_ms(trials, [&] {
+      (void)plan::solve_with_plan(g, cc_options, automatic);
+    });
+    report.add_comparison("adaptive_plan_e2e", baseline_ms, optimized_ms);
+    table.add_row({"adaptive_plan_e2e (pullf+push/auto)",
+                   bench::TablePrinter::fmt_ms(baseline_ms),
+                   bench::TablePrinter::fmt_ms(optimized_ms),
+                   bench::TablePrinter::fmt_ratio(baseline_ms /
+                                                  optimized_ms)});
   }
 
   // --- Serving layer.  serve_query: the same query stream answered with

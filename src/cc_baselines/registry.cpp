@@ -12,12 +12,13 @@
 #include "core/dolp.hpp"
 #include "core/thrifty.hpp"
 #include "frontier/density.hpp"
+#include "plan/solve.hpp"
 
 namespace thrifty::baselines {
 
 namespace {
 
-constexpr std::array<AlgorithmEntry, 11> kAlgorithms = {{
+constexpr std::array<AlgorithmEntry, 12> kAlgorithms = {{
     {"sv", "SV", &shiloach_vishkin_cc, false, 0.0},
     {"bfs_cc", "BFS-CC", &bfs_cc, false, 0.0},
     {"dolp", "DO-LP", &core::dolp_cc, true, frontier::kLigraThreshold},
@@ -31,6 +32,8 @@ constexpr std::array<AlgorithmEntry, 11> kAlgorithms = {{
     {"sampled_lp", "Sampled+LP", &sampled_lp_cc, true,
      frontier::kThriftyThreshold},
     {"fastsv", "FastSV", &fastsv_cc, true, 0.0},
+    {"adaptive", "Adaptive", &plan::solve_adaptive, true,
+     frontier::kThriftyThreshold},
     {"reference", "Reference", &reference_cc, false, 0.0},
 }};
 

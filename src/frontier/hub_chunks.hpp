@@ -61,8 +61,15 @@ class HubChunks {
     cursor_.store(0, std::memory_order_relaxed);
   }
 
-  [[nodiscard]] std::size_t num_hubs() const { return hubs_.size(); }
-  [[nodiscard]] bool empty() const { return hubs_.empty(); }
+  /// Counts both finalized hubs and any still sitting in the per-thread
+  /// collect() stashes, so "did we meet any hubs?" reads correctly on
+  /// either side of finalize().  Not safe concurrently with collect().
+  [[nodiscard]] std::size_t num_hubs() const {
+    std::size_t pending = 0;
+    for (const auto& list : per_thread_) pending += list.size();
+    return hubs_.size() + pending;
+  }
+  [[nodiscard]] bool empty() const { return num_hubs() == 0; }
 
   /// Phase B: every thread claims chunks off the shared cursor until the
   /// hubs are exhausted.  `body(thread, hub, edge_begin, edge_end)`

@@ -12,6 +12,8 @@ const char* to_string(Direction direction) {
       return "Pull-Frontier";
     case Direction::kInitialPush:
       return "Initial-Push";
+    case Direction::kHook:
+      return "Hook-Finish";
   }
   return "?";
 }

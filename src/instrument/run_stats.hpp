@@ -20,6 +20,9 @@ enum class Direction {
   kPullFrontier,
   /// Thrifty's Initial Push of the zero label (§IV-D).
   kInitialPush,
+  /// Union-find finish of the adaptive executor's sampling-then-finish
+  /// cutover: one hook pass over all edges plus a compress (ConnectIt).
+  kHook,
 };
 
 [[nodiscard]] const char* to_string(Direction direction);

@@ -164,6 +164,11 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
         setup.reorder = options.forced_reorder;
       }
     }
+    if (!options.forced_plan.empty()) {
+      for (RunSetup& setup : setups) {
+        setup.plan = options.forced_plan;
+      }
+    }
 
     for (const RunSetup& setup : setups) {
       summary.algorithm_runs += registry_size;

@@ -48,6 +48,12 @@ struct CrosscheckOptions {
   /// kNone leaves the matrix's own reorder points in charge.
   reorder::OrderKind forced_reorder = reorder::OrderKind::kNone;
 
+  /// Force a plan spec onto every setup the sweep runs (the --plan
+  /// smoke leg): the adaptive solver then executes every scenario under
+  /// this plan while the oracles hold it to the union-find reference.
+  /// Empty leaves the matrix's own plan points in charge.
+  std::string forced_plan;
+
   /// Shrink failing scenarios with the delta-debugging minimizer.
   bool minimize = true;
   int max_minimize_evaluations = 4000;

@@ -38,6 +38,12 @@ std::string RunSetup::describe() const {
   if (reorder != reorder::OrderKind::kNone) {
     out << " reorder=" << reorder::to_string(reorder);
   }
+  if (numa_steal != support::StealScope::kLocal) {
+    out << " numa_steal=" << support::to_string(numa_steal);
+  }
+  if (plan != "auto") {
+    out << " plan=" << plan;
+  }
   return out.str();
 }
 
@@ -97,6 +103,32 @@ std::vector<RunSetup> perturbation_matrix() {
     setup = RunSetup{};
     setup.threads = 4;
     setup.reorder = reorder::OrderKind::kRandom;
+    matrix.push_back(setup);
+  }
+  // Steal scope is a scheduling-only knob; one global-stealing point
+  // cross-checks it against the default local points above.
+  {
+    RunSetup setup;
+    setup.threads = 4;
+    setup.numa_steal = support::StealScope::kGlobal;
+    matrix.push_back(setup);
+  }
+  // Plan dimension: adversarial fixed plans the adaptive executor's
+  // sanitizer must turn into correct (if slow) runs — push-only with no
+  // frontier, pull-only on sparse phases, and a premature union-find
+  // finish.  The default points above already cover plan=auto.
+  {
+    RunSetup setup;
+    setup.threads = 4;
+    setup.plan = "fixed:push";
+    matrix.push_back(setup);
+    setup = RunSetup{};
+    setup.threads = 2;
+    setup.plan = "fixed:pull";
+    matrix.push_back(setup);
+    setup = RunSetup{};
+    setup.threads = 4;
+    setup.plan = "fixed:pullf,push,finish";
     matrix.push_back(setup);
   }
   return matrix;
@@ -189,10 +221,16 @@ std::vector<Label> reference_partition(const CsrGraph& graph) {
 core::CcResult run_under(const baselines::AlgorithmEntry& entry,
                          const CsrGraph& graph, const RunSetup& setup,
                          const Fault& fault) {
+  // Snapshot the FULL effective configuration — every knob an algorithm
+  // might read must come from the setup, not the ambient process config,
+  // or a repro file replayed under a different environment diverges from
+  // the failing run.
   support::RunConfig config = support::run_config();
   config.hub_split_degree = setup.hub_split_degree;
   config.placement = setup.placement;
   config.simd = setup.simd;
+  config.numa_steal = setup.numa_steal;
+  config.plan = setup.plan;
   const support::RunConfigOverride config_scope(config);
   const support::ThreadCountGuard thread_scope(
       setup.threads > 0 ? setup.threads : support::num_threads());
@@ -374,6 +412,8 @@ std::optional<OracleFailure> check_service_ingest(
   config.hub_split_degree = setup.hub_split_degree;
   config.placement = setup.placement;
   config.simd = setup.simd;
+  config.numa_steal = setup.numa_steal;
+  config.plan = setup.plan;
   const support::RunConfigOverride config_scope(config);
   const support::ThreadCountGuard thread_scope(
       setup.threads > 0 ? setup.threads : support::num_threads());

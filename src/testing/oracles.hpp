@@ -58,6 +58,15 @@ struct RunSetup {
   /// labels are mapped back to original ids afterwards, so reordering
   /// must never change the partition.  kNone runs on the graph as-is.
   reorder::OrderKind reorder = reorder::OrderKind::kNone;
+  /// Work-stealing scope of the partition scheduler.  A pure scheduling
+  /// knob that must never change results.  Snapshotted here (rather
+  /// than inherited from the ambient process config) so a repro file
+  /// pins the *full* effective configuration of the failing run.
+  support::StealScope numa_steal = support::StealScope::kLocal;
+  /// Execution-plan spec for the adaptive solver (plan/plan.hpp):
+  /// "auto", or an adversarial "fixed:<spec>" the sanitizing executor
+  /// must survive.  Only the "adaptive" registry entry reads it.
+  std::string plan = "auto";
 
   [[nodiscard]] std::string describe() const;
 };

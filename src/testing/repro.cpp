@@ -46,6 +46,9 @@ void write_repro(std::ostream& out, const Repro& repro) {
       << "\n";
   out << "simd " << support::to_string(repro.setup.simd) << "\n";
   out << "reorder " << reorder::to_string(repro.setup.reorder) << "\n";
+  out << "numa_steal " << support::to_string(repro.setup.numa_steal)
+      << "\n";
+  out << "plan " << sanitize(repro.setup.plan) << "\n";
   out << "fault " << to_string(repro.fault) << "\n";
   out << "vertices " << repro.num_vertices << "\n";
   out << "edges " << repro.edges.size() << "\n";
@@ -115,6 +118,17 @@ Repro read_repro(std::istream& in) {
       const auto kind = reorder::parse_order_kind(value);
       if (!kind) malformed("unknown reorder '" + value + "'");
       repro.setup.reorder = *kind;
+    } else if (key == "numa_steal") {
+      // Absent in repro files from before the steal-scope snapshot; the
+      // RunSetup default (local) covers those.
+      const auto scope = support::parse_steal_scope(value);
+      if (!scope) malformed("unknown numa_steal '" + value + "'");
+      repro.setup.numa_steal = *scope;
+    } else if (key == "plan") {
+      // Absent in repro files from before the plan dimension existed;
+      // the RunSetup default ("auto") covers those.  Kept as raw text —
+      // replay parses and validates it at solve start.
+      repro.setup.plan = value;
     } else if (key == "fault") {
       const auto kind = parse_fault_kind(value);
       if (!kind) malformed("unknown fault kind '" + value + "'");

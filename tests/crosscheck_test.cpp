@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/cc_common.hpp"
+#include "support/run_config.hpp"
 #include "testing/crosscheck.hpp"
 #include "testing/minimize.hpp"
 #include "testing/oracles.hpp"
@@ -61,8 +62,9 @@ TEST(Scenario, GraphPreservesVertexIds) {
 TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
   const std::vector<RunSetup> matrix = perturbation_matrix();
   // 3 threads x 3 hub degrees x 3 thresholds + 2 placement points
-  // + 2 forced-scalar kernel points + 3 vertex-reorder points.
-  EXPECT_EQ(matrix.size(), 34u);
+  // + 2 forced-scalar kernel points + 3 vertex-reorder points
+  // + 1 global-steal point + 3 adversarial-plan points.
+  EXPECT_EQ(matrix.size(), 38u);
   EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
                           [](const RunSetup& s) {
                             return s.placement !=
@@ -78,6 +80,15 @@ TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
                           [](const RunSetup& s) {
                             return s.reorder != reorder::OrderKind::kNone;
                           }),
+            3);
+  EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
+                          [](const RunSetup& s) {
+                            return s.numa_steal !=
+                                   support::StealScope::kLocal;
+                          }),
+            1);
+  EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
+                          [](const RunSetup& s) { return s.plan != "auto"; }),
             3);
   const RunSetup a = sampled_perturbation(5);
   const RunSetup b = sampled_perturbation(5);
@@ -365,6 +376,67 @@ TEST(Repro, ReplayRejectsUnknownAlgorithm) {
   repro.num_vertices = 2;
   repro.edges = {{0, 1}};
   EXPECT_THROW((void)replay_repro(repro), std::runtime_error);
+}
+
+TEST(Repro, PlanAndStealScopeRoundTripWithLegacyDefaults) {
+  Repro repro;
+  repro.algorithm = "adaptive";
+  repro.setup.plan = "fixed:pullf,push,finish";
+  repro.setup.numa_steal = support::StealScope::kGlobal;
+  repro.num_vertices = 2;
+  repro.edges = {{0, 1}};
+  std::ostringstream out;
+  write_repro(out, repro);
+  std::istringstream in(out.str());
+  const Repro parsed = read_repro(in);
+  EXPECT_EQ(parsed.setup.plan, repro.setup.plan);
+  EXPECT_EQ(parsed.setup.numa_steal, support::StealScope::kGlobal);
+
+  // Files from before the plan/steal-scope keys existed parse with the
+  // RunSetup defaults.
+  std::istringstream legacy(
+      "# cc_crosscheck repro v1\nalgorithm thrifty\n"
+      "vertices 2\nedges 0\n");
+  const Repro old = read_repro(legacy);
+  EXPECT_EQ(old.setup.plan, "auto");
+  EXPECT_EQ(old.setup.numa_steal, support::StealScope::kLocal);
+
+  // A bad value on the known steal-scope key is a hard error.
+  std::istringstream bad(
+      "# cc_crosscheck repro v1\nnuma_steal everywhere\n"
+      "vertices 2\nedges 0\n");
+  EXPECT_THROW((void)read_repro(bad), std::runtime_error);
+}
+
+// Regression: run_under used to inherit the scheduler/plan knobs from
+// the ambient process config instead of the RunSetup, so a repro file
+// did not pin the full effective configuration — mutating the
+// environment between generating a repro and replaying it changed what
+// the replay ran.
+TEST(RunSetup, SnapshotsFullConfigIgnoringAmbientMutation) {
+  const graph::CsrGraph graph = build_scenario_graph(make_hub_star(2));
+  const auto* adaptive = baselines::find_algorithm("adaptive");
+  ASSERT_NE(adaptive, nullptr);
+  const std::vector<graph::Label> reference = reference_partition(graph);
+
+  // The setup's plan reaches the solver: an unparsable plan spec is
+  // rejected at solve start, proving the knob came from the setup and
+  // not from the (valid) ambient config.
+  RunSetup bad_plan;
+  bad_plan.plan = "fixed:bogus";
+  EXPECT_THROW((void)run_under(*adaptive, graph, bad_plan),
+               std::runtime_error);
+
+  // The converse direction — the actual regression: a hostile ambient
+  // config mutated after the repro was generated must not leak into the
+  // replayed run, because the setup snapshots every knob.
+  support::RunConfig hostile = support::run_config();
+  hostile.plan = "fixed:bogus";
+  hostile.numa_steal = support::StealScope::kGlobal;
+  const support::RunConfigOverride scope(hostile);
+  const RunSetup defaults;
+  const core::CcResult result = run_under(*adaptive, graph, defaults);
+  EXPECT_TRUE(core::same_partition(result.label_span(), reference));
 }
 
 TEST(Fault, ApplyFaultNoOpsWhenNothingToCorrupt) {

@@ -346,6 +346,28 @@ TEST(HubSplitThreshold, RunConfigOverrideWins) {
   }
 }
 
+TEST(HubChunks, EmptyCountsStashedHubsBeforeFinalize) {
+  // Regression: empty()/num_hubs() used to report only the flattened
+  // view, so "if (!hubs.empty()) finalize-and-drain" silently skipped
+  // every hub — collect() stashes must count on both sides of
+  // finalize().
+  HubChunks hubs(2);
+  EXPECT_TRUE(hubs.empty());
+  hubs.collect(1, 42);
+  EXPECT_FALSE(hubs.empty());
+  EXPECT_EQ(hubs.num_hubs(), 1u);
+  const auto degree_of = [](VertexId) -> graph::EdgeOffset { return 10; };
+  hubs.finalize(degree_of);
+  EXPECT_FALSE(hubs.empty());
+  EXPECT_EQ(hubs.num_hubs(), 1u);
+  int drained = 0;
+  hubs.drain(0, degree_of, [&](int, VertexId v, auto, auto) {
+    EXPECT_EQ(v, 42u);
+    ++drained;
+  });
+  EXPECT_EQ(drained, 1);
+}
+
 TEST(Density, FormulaMatchesPaper) {
   // (|F.V| + |F.E|) / |E|
   EXPECT_DOUBLE_EQ(frontier_density(10, 90, 1000), 0.1);
@@ -358,6 +380,43 @@ TEST(Density, ThresholdSelection) {
   EXPECT_FALSE(is_sparse(0.011, kThriftyThreshold));
   EXPECT_TRUE(is_sparse(0.04, kLigraThreshold));
   EXPECT_FALSE(is_sparse(0.06, kLigraThreshold));
+  // The comparison is strict: a frontier sitting exactly on the
+  // threshold runs dense, so the boundary decision is deterministic
+  // rather than at the mercy of floating-point noise around ==.
+  EXPECT_FALSE(is_sparse(kThriftyThreshold, kThriftyThreshold));
+  EXPECT_FALSE(is_sparse(kLigraThreshold, kLigraThreshold));
+}
+
+TEST(Density, MassDrivenTrajectorySwitchesExactlyOnce) {
+  // The direction heuristic consumes the worklist mass estimates: feed
+  // it a shrinking frontier trajectory and check the push switch-over
+  // happens at the first iteration whose density drops below threshold
+  // — and never flips back while the frontier keeps shrinking.
+  const std::uint64_t total_edges = 100000;
+  LocalWorklists lists(1000, 1);
+  std::uint64_t vertices = 800;
+  std::uint64_t edges_per_vertex = 40;
+  bool switched = false;
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    lists.clear();
+    for (std::uint64_t v = 0; v < vertices; ++v) {
+      lists.push(0, static_cast<VertexId>(v), edges_per_vertex);
+    }
+    const LocalWorklists::Mass mass = lists.mass();
+    EXPECT_EQ(mass.vertices, vertices);
+    EXPECT_EQ(mass.edges, vertices * edges_per_vertex);
+    const double density =
+        frontier_density(mass.vertices, mass.edges, total_edges);
+    const bool sparse = is_sparse(density, kThriftyThreshold);
+    if (sparse) {
+      switched = true;
+    } else {
+      EXPECT_FALSE(switched) << "direction flipped back to pull on a "
+                                "monotonically shrinking frontier";
+    }
+    vertices /= 4;  // the post-peak collapse of a skewed-degree solve
+  }
+  EXPECT_TRUE(switched);
 }
 
 }  // namespace

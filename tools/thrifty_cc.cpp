@@ -5,6 +5,8 @@
 //              [--mmap] [--placement=firsttouch|interleave|os]
 //              [--reorder=none|degree|degree-asc|hub-cluster|window|
 //                         bfs|random] [--seed=S]
+//              [--plan=auto|fixed:<spec>|replay:<file>]
+//              [--plan-trace=FILE]
 //
 // <graph> is a file (.el/.txt edge list, .bin binary CSR, .mtx Matrix
 // Market) or a generator spec (gen:rmat:scale=16,ef=16 — see
@@ -16,9 +18,17 @@
 // the labels back to original ids, reporting the reorder cost
 // separately from solve time so amortization stays honest; --seed only
 // affects --reorder=random.
+//
+// --plan drives the adaptive execution planner (src/plan/): it implies
+// --algo=adaptive, accepts auto (runtime decisions), fixed:<spec> (a
+// scripted strategy sequence like fixed:pullf,push or fixed:pull*2,
+// finish) or replay:<file> (byte-exact re-execution of a recorded
+// trace).  --plan-trace dumps the decision record of the solve to FILE
+// for diffing and later replay.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -26,6 +36,8 @@
 #include "cc_baselines/registry.hpp"
 #include "core/verify.hpp"
 #include "instrument/run_stats.hpp"
+#include "plan/solve.hpp"
+#include "plan/trace.hpp"
 #include "reorder/relabel.hpp"
 #include "reorder/reorder.hpp"
 #include "support/run_config.hpp"
@@ -51,12 +63,15 @@ int run(int argc, char** argv) {
                  "usage: thrifty_cc <graph|gen:spec> [--algo=thrifty] "
                  "[--threshold=T] [--trials=N] [--out=FILE] [--verify] "
                  "[--stats] [--list] [--mmap] [--placement=P] "
-                 "[--reorder=ORDER] [--seed=S]\n");
+                 "[--reorder=ORDER] [--seed=S] "
+                 "[--plan=auto|fixed:<spec>|replay:<file>] "
+                 "[--plan-trace=FILE]\n");
     return args.has_flag("help") ? 0 : 2;
   }
   const auto unknown = args.unknown_flags(
       {"algo", "threshold", "trials", "out", "verify", "stats", "list",
-       "help", "mmap", "placement", "reorder", "seed"});
+       "help", "mmap", "placement", "reorder", "seed", "plan",
+       "plan-trace"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
     return 2;
@@ -74,6 +89,19 @@ int run(int argc, char** argv) {
     }
     config.placement = *placement;
   }
+  // --plan drives the adaptive planner end to end: validate the spec up
+  // front, install it into the config (the registry entry reads it from
+  // there), and default the algorithm to "adaptive".
+  std::optional<plan::PlanSpec> plan_spec;
+  if (const auto text = args.flag("plan")) {
+    try {
+      plan_spec = plan::parse_plan_spec(*text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --plan value: %s\n", e.what());
+      return 2;
+    }
+    config.plan = *text;
+  }
   const support::RunConfigOverride config_scope(config);
 
   tools::LoadOptions load_options;
@@ -83,11 +111,19 @@ int run(int argc, char** argv) {
   std::fprintf(stderr, "loaded: %s%s\n", tools::summarize(g).c_str(),
                g.owns_memory() ? "" : " [mmap]");
 
-  const std::string algo_name = args.flag("algo").value_or("thrifty");
+  const auto trace_path = args.flag("plan-trace");
+  const std::string algo_name = args.flag("algo").value_or(
+      plan_spec || trace_path ? "adaptive" : "thrifty");
   const auto* entry = baselines::find_algorithm(algo_name);
   if (entry == nullptr) {
     std::fprintf(stderr, "unknown algorithm '%s' (try --list)\n",
                  algo_name.c_str());
+    return 2;
+  }
+  const bool is_adaptive = entry->name == "adaptive";
+  if ((plan_spec || trace_path) && !is_adaptive) {
+    std::fprintf(stderr,
+                 "--plan/--plan-trace only apply to --algo=adaptive\n");
     return 2;
   }
 
@@ -126,19 +162,36 @@ int run(int argc, char** argv) {
   core::CcOptions options;
   options.instrument = args.has_flag("stats");
   const double threshold = args.flag_double("threshold", -1.0);
+  plan::PlanSpec spec;
+  if (is_adaptive) {
+    // --plan if given, otherwise whatever THRIFTY_PLAN configured.
+    spec = plan_spec ? *plan_spec
+                     : plan::parse_plan_spec(support::run_config().plan);
+  }
   core::CcResult result;
+  plan::PlanTrace trace;
   const auto trials =
       std::max<std::int64_t>(1, args.flag_int("trials", 1));
   for (std::int64_t t = 0; t < trials; ++t) {
-    core::CcResult run_result =
-        threshold >= 0.0
-            ? entry->function(
-                  solve_graph, [&] {
-                    core::CcOptions o = options;
-                    o.density_threshold = threshold;
-                    return o;
-                  }())
-            : baselines::run_algorithm(*entry, solve_graph, options);
+    const core::CcOptions trial_options = [&] {
+      if (threshold >= 0.0) {
+        core::CcOptions o = options;
+        o.density_threshold = threshold;
+        return o;
+      }
+      return baselines::effective_options(*entry, options);
+    }();
+    core::CcResult run_result;
+    if (is_adaptive) {
+      // Direct executor call so the decision trace is available; the
+      // labels are identical to the registry path's.
+      plan::PlanResult planned =
+          plan::solve_with_plan(solve_graph, trial_options, spec);
+      run_result = std::move(planned.result);
+      trace = std::move(planned.trace);
+    } else {
+      run_result = entry->function(solve_graph, trial_options);
+    }
     if (t == 0 ||
         run_result.stats.total_ms < result.stats.total_ms) {
       result = std::move(run_result);
@@ -164,6 +217,23 @@ int run(int argc, char** argv) {
         "reorder: %s (order %.2f ms + apply %.2f ms + map-back %.2f ms, "
         "not counted in solve time)\n",
         reorder::to_string(order_kind), order_ms, apply_ms, map_back_ms);
+  }
+  if (is_adaptive) {
+    bool any_sanitized = false;
+    std::printf("plan: %s (%zu steps:", spec.text.c_str(),
+                trace.steps.size());
+    for (const plan::TraceStep& step : trace.steps) {
+      const bool sanitized = step.requested != step.step.kind;
+      any_sanitized = any_sanitized || sanitized;
+      std::printf(" %s%s", plan::to_string(step.step.kind),
+                  sanitized ? "*" : "");
+    }
+    std::printf(")%s\n", any_sanitized ? "  [* = sanitized request]" : "");
+    if (trace_path) {
+      plan::write_trace_file(*trace_path, trace);
+      std::fprintf(stderr, "plan trace written to %s\n",
+                   trace_path->c_str());
+    }
   }
 
   if (args.has_flag("stats")) {
