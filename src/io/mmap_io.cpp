@@ -1,5 +1,6 @@
 #include "io/mmap_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <utility>
@@ -21,6 +22,39 @@ namespace thrifty::io {
 bool mmap_supported() { return THRIFTY_HAVE_MMAP != 0; }
 
 #if THRIFTY_HAVE_MMAP
+
+bool advise_range(const void* mapping, std::uint64_t mapping_bytes,
+                  std::uint64_t offset, std::uint64_t length,
+                  MapAdvice advice) {
+  if (mapping == nullptr || offset >= mapping_bytes) return false;
+  length = std::min(length, mapping_bytes - offset);
+  if (length == 0) return false;
+  // madvise requires a page-aligned start address: round the offset down
+  // to the page holding the first requested byte and extend the length
+  // so the advised region still covers the last one.
+  const auto page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  const std::uint64_t aligned_offset = (offset / page) * page;
+  const std::uint64_t aligned_length = length + (offset - aligned_offset);
+  int kind = MADV_NORMAL;
+  switch (advice) {
+    case MapAdvice::kWillNeed:
+      kind = MADV_WILLNEED;
+      break;
+    case MapAdvice::kDontNeed:
+      kind = MADV_DONTNEED;
+      break;
+    case MapAdvice::kSequential:
+      kind = MADV_SEQUENTIAL;
+      break;
+    case MapAdvice::kNormal:
+      kind = MADV_NORMAL;
+      break;
+  }
+  void* address =
+      const_cast<char*>(static_cast<const char*>(mapping)) + aligned_offset;
+  return ::madvise(address, static_cast<std::size_t>(aligned_length),
+                   kind) == 0;
+}
 
 namespace {
 
@@ -48,11 +82,10 @@ class MappedFile {
       }
       data_ = static_cast<const char*>(mapping);
       if (options.sequential) {
-        ::madvise(mapping, static_cast<std::size_t>(size_),
-                  MADV_SEQUENTIAL);
+        advise_range(mapping, size_, 0, size_, MapAdvice::kSequential);
       }
       if (options.willneed) {
-        ::madvise(mapping, static_cast<std::size_t>(size_), MADV_WILLNEED);
+        advise_range(mapping, size_, 0, size_, MapAdvice::kWillNeed);
       }
 #ifdef MADV_HUGEPAGE
       if (options.hugepages) {
@@ -82,8 +115,8 @@ class MappedFile {
 
 }  // namespace
 
-graph::CsrGraph read_csr_mmap(const std::string& path,
-                              const MmapOptions& options) {
+MappedCsr read_csr_mmap_region(const std::string& path,
+                               const MmapOptions& options) {
   auto file = std::make_shared<MappedFile>(path, options);
   const std::uint64_t total = file->size();
   const char* base = file->data();
@@ -124,17 +157,34 @@ graph::CsrGraph read_csr_mmap(const std::string& path,
       neighbors_ptr, static_cast<std::size_t>(m)};
 
   validate_snapshot_payload(offsets, neighbors, path);
-  return graph::CsrGraph(offsets, neighbors, std::move(file));
+  MappedCsr mapped;
+  mapped.mapping = base;
+  mapped.mapping_bytes = total;
+  mapped.graph = graph::CsrGraph(offsets, neighbors, std::move(file));
+  return mapped;
 }
 
 #else  // !THRIFTY_HAVE_MMAP
 
-graph::CsrGraph read_csr_mmap(const std::string& path,
-                              const MmapOptions& /*options*/) {
-  return read_csr_file(path);
+bool advise_range(const void* /*mapping*/, std::uint64_t /*mapping_bytes*/,
+                  std::uint64_t /*offset*/, std::uint64_t /*length*/,
+                  MapAdvice /*advice*/) {
+  return false;
+}
+
+MappedCsr read_csr_mmap_region(const std::string& path,
+                               const MmapOptions& /*options*/) {
+  MappedCsr mapped;
+  mapped.graph = read_csr_file(path);
+  return mapped;
 }
 
 #endif  // THRIFTY_HAVE_MMAP
+
+graph::CsrGraph read_csr_mmap(const std::string& path,
+                              const MmapOptions& options) {
+  return read_csr_mmap_region(path, options).graph;
+}
 
 graph::CsrGraph read_csr_file_auto(const std::string& path,
                                    bool prefer_mmap) {

@@ -42,12 +42,56 @@ struct MmapOptions {
 /// True when this build can memory-map files (POSIX mmap present).
 [[nodiscard]] bool mmap_supported();
 
+/// Residency hint for a byte range of an existing mapping.
+enum class MapAdvice {
+  /// Prefetch: ask the kernel to page the range in asynchronously
+  /// (MADV_WILLNEED) so an upcoming sweep does not stall on demand
+  /// faults.
+  kWillNeed,
+  /// Release: the range will not be touched soon; drop its pages
+  /// (MADV_DONTNEED — for a read-only file mapping they re-fault from
+  /// the page cache or disk, never losing data).
+  kDontNeed,
+  /// Front-to-back access pattern (MADV_SEQUENTIAL).
+  kSequential,
+  /// Reset to the default paging behaviour (MADV_NORMAL).
+  kNormal,
+};
+
+/// Applies `advice` to the byte range [offset, offset + length) of the
+/// mapping at `mapping` (of `mapping_bytes` total).  The range is
+/// clamped to the mapping and page-aligned internally (madvise requires
+/// page-aligned addresses): the start rounds down, the length rounds up,
+/// so the advised region always covers the requested bytes.  Returns
+/// false (without throwing) when the platform lacks madvise or the call
+/// fails — residency hints are best-effort by design.
+bool advise_range(const void* mapping, std::uint64_t mapping_bytes,
+                  std::uint64_t offset, std::uint64_t length,
+                  MapAdvice advice);
+
+/// A zero-copy loaded snapshot plus its raw mapping coordinates, for
+/// callers that manage residency themselves (the sharded solver's
+/// windowed prefetch/release policy feeds these into advise_range).
+/// `mapping`/`mapping_bytes` are null/0 when the graph was loaded
+/// through the stream fallback and owns its memory.
+struct MappedCsr {
+  graph::CsrGraph graph;
+  const void* mapping = nullptr;
+  std::uint64_t mapping_bytes = 0;
+};
+
 /// Loads a binary CSR snapshot as a zero-copy mapped view.  Throws the
 /// same typed IoErrors as read_csr_file (kOpenFailed, kBadMagic,
 /// kTruncated, kTrailingGarbage, kHeaderBounds, kInvariantViolation).
 /// Falls back to the stream loader when mmap is unavailable.
 [[nodiscard]] graph::CsrGraph read_csr_mmap(const std::string& path,
                                             const MmapOptions& options = {});
+
+/// As read_csr_mmap, but also exposes the mapping's base address and
+/// size so the caller can drive advise_range on it.  The mapping stays
+/// alive exactly as long as the contained graph (same keep-alive).
+[[nodiscard]] MappedCsr read_csr_mmap_region(const std::string& path,
+                                             const MmapOptions& options = {});
 
 /// Convenience dispatcher for tools: mmap-backed when `prefer_mmap` and
 /// the platform supports it, the copying stream loader otherwise.

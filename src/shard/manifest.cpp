@@ -1,0 +1,449 @@
+#include "shard/manifest.hpp"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "io/binary_io.hpp"
+#include "io/mmap_io.hpp"
+#include "support/math.hpp"
+
+namespace thrifty::shard {
+
+namespace fs = std::filesystem;
+using io::IoError;
+using io::IoErrorKind;
+
+namespace {
+
+constexpr std::string_view kManifestBanner = "# thrifty shard manifest v1";
+constexpr std::array<char, 8> kCutMagic = {'T', 'H', 'R', 'F',
+                                           'T', 'Y', 'S', '1'};
+constexpr std::uint64_t kCutHeaderBytes = 40;  // magic + 4 u64 counts
+
+// SlotRefs are written to the sidecar as raw bytes.
+static_assert(sizeof(SlotRef) == 8);
+static_assert(std::is_trivially_copyable_v<SlotRef>);
+
+/// graph.shards -> graph.shard<k>.bin / graph.shard<k>.cut
+std::string payload_name(const std::string& manifest_path, int k,
+                         const char* ext) {
+  const fs::path p(manifest_path);
+  std::string stem = p.stem().string();
+  if (stem.empty()) stem = "graph";
+  return stem + ".shard" + std::to_string(k) + ext;
+}
+
+std::string resolve(const std::string& manifest_path,
+                    const std::string& relative) {
+  const fs::path dir = fs::path(manifest_path).parent_path();
+  if (dir.empty()) return relative;
+  return (dir / relative).string();
+}
+
+void write_raw(std::ostream& out, const void* data, std::size_t bytes,
+               const std::string& path) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw IoError(IoErrorKind::kWriteFailed, "sidecar write", path);
+}
+
+void read_raw(std::istream& in, void* data, std::size_t bytes,
+              const std::string& path, std::uint64_t at) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw IoError(IoErrorKind::kTruncated, "unexpected end of sidecar",
+                  path, 0, at + static_cast<std::uint64_t>(in.gcount()));
+  }
+}
+
+std::uint64_t file_size_of(std::istream& in) {
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(0);
+  return static_cast<std::uint64_t>(end);
+}
+
+[[noreturn]] void malformed(const std::string& path, std::uint64_t line,
+                            const std::string& what) {
+  throw IoError(IoErrorKind::kMalformedLine, what, path, line);
+}
+
+/// Parses "<key> <u64>" with an exact key match.
+std::uint64_t header_value(const std::string& text, const char* key,
+                           const std::string& path, std::uint64_t line) {
+  std::istringstream in(text);
+  std::string got;
+  std::uint64_t value = 0;
+  std::string extra;
+  if (!(in >> got >> value) || got != key || (in >> extra)) {
+    malformed(path, line,
+              std::string("expected '") + key + " <count>'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t ShardMeta::csr_bytes() const {
+  return io::CsrSnapshotLayout::neighbors_begin(num_local()) +
+         static_cast<std::uint64_t>(intra_edges) * sizeof(graph::VertexId);
+}
+
+std::uint64_t ShardManifest::total_cut_pairs() const {
+  std::uint64_t total = 0;
+  for (const ShardMeta& s : shards) total += s.cut_pair_count;
+  return total;
+}
+
+std::uint64_t ShardManifest::max_shard_csr_bytes() const {
+  std::uint64_t best = 0;
+  for (const ShardMeta& s : shards) best = std::max(best, s.csr_bytes());
+  return best;
+}
+
+void write_shard_cuts(const std::string& path, const Shard& shard,
+                      std::uint32_t num_slots) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open for write", path);
+  }
+  const std::uint64_t n_local = shard.num_local();
+  const std::uint64_t slots = num_slots;
+  const std::uint64_t publish = shard.publish.size();
+  const std::uint64_t pairs = shard.cut_pairs.size();
+  write_raw(out, kCutMagic.data(), kCutMagic.size(), path);
+  write_raw(out, &n_local, sizeof n_local, path);
+  write_raw(out, &slots, sizeof slots, path);
+  write_raw(out, &publish, sizeof publish, path);
+  write_raw(out, &pairs, sizeof pairs, path);
+  if (publish > 0) {
+    write_raw(out, shard.publish.data(), publish * sizeof(SlotRef), path);
+  }
+  if (pairs > 0) {
+    write_raw(out, shard.cut_pairs.data(), pairs * sizeof(SlotRef), path);
+  }
+}
+
+ShardCuts read_shard_cuts(const std::string& path, graph::VertexId n_local,
+                          std::uint32_t num_slots) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open for read", path);
+  }
+  const std::uint64_t total = file_size_of(in);
+
+  std::array<char, 8> magic{};
+  read_raw(in, magic.data(), magic.size(), path, 0);
+  if (magic != kCutMagic) {
+    throw IoError(IoErrorKind::kBadMagic, "not a THRFTYS1 sidecar", path,
+                  0, 0);
+  }
+  std::uint64_t header_local = 0;
+  std::uint64_t header_slots = 0;
+  std::uint64_t publish = 0;
+  std::uint64_t pairs = 0;
+  read_raw(in, &header_local, sizeof header_local, path, 8);
+  read_raw(in, &header_slots, sizeof header_slots, path, 16);
+  read_raw(in, &publish, sizeof publish, path, 24);
+  read_raw(in, &pairs, sizeof pairs, path, 32);
+
+  if (header_local != n_local || header_slots != num_slots) {
+    throw IoError(IoErrorKind::kCountMismatch,
+                  "sidecar header (n_local=" + std::to_string(header_local) +
+                      ", slots=" + std::to_string(header_slots) +
+                      ") disagrees with manifest (n_local=" +
+                      std::to_string(n_local) +
+                      ", slots=" + std::to_string(num_slots) + ")",
+                  path, 0, 8);
+  }
+  // Size cross-check before any allocation, exactly like the snapshot
+  // loaders: a hostile count cannot trigger an unbounded allocation.
+  const std::optional<std::uint64_t> entries =
+      support::checked_add<std::uint64_t>(publish, pairs);
+  const std::optional<std::uint64_t> payload =
+      entries ? support::checked_mul<std::uint64_t>(*entries,
+                                                    sizeof(SlotRef))
+              : std::nullopt;
+  const std::optional<std::uint64_t> expected =
+      payload ? support::checked_add<std::uint64_t>(kCutHeaderBytes,
+                                                    *payload)
+              : std::nullopt;
+  if (!expected) {
+    throw IoError(IoErrorKind::kHeaderBounds,
+                  "declared sidecar sizes overflow 64 bits", path, 0, 24);
+  }
+  if (*expected > total) {
+    throw IoError(IoErrorKind::kTruncated,
+                  "header declares " + std::to_string(*expected) +
+                      " bytes but file holds " + std::to_string(total),
+                  path, 0, 24);
+  }
+  if (*expected < total) {
+    throw IoError(IoErrorKind::kTrailingGarbage,
+                  std::to_string(total - *expected) +
+                      " byte(s) past the declared payload",
+                  path, 0, *expected);
+  }
+
+  ShardCuts cuts;
+  cuts.publish.resize(static_cast<std::size_t>(publish));
+  cuts.cut_pairs.resize(static_cast<std::size_t>(pairs));
+  if (publish > 0) {
+    read_raw(in, cuts.publish.data(), publish * sizeof(SlotRef), path,
+             kCutHeaderBytes);
+  }
+  if (pairs > 0) {
+    read_raw(in, cuts.cut_pairs.data(), pairs * sizeof(SlotRef), path,
+             kCutHeaderBytes + publish * sizeof(SlotRef));
+  }
+
+  for (std::size_t i = 0; i < cuts.publish.size(); ++i) {
+    const SlotRef& ref = cuts.publish[i];
+    if (ref.local >= n_local || ref.slot >= num_slots) {
+      throw IoError(IoErrorKind::kIndexOutOfRange,
+                    "publish entry " + std::to_string(i) +
+                        " out of bounds (local=" + std::to_string(ref.local) +
+                        ", slot=" + std::to_string(ref.slot) + ")",
+                    path, 0, kCutHeaderBytes + i * sizeof(SlotRef));
+    }
+    if (i > 0 && cuts.publish[i - 1].local >= ref.local) {
+      throw IoError(IoErrorKind::kInvariantViolation,
+                    "publish list not strictly ascending", path, 0,
+                    kCutHeaderBytes + i * sizeof(SlotRef));
+    }
+  }
+  const std::uint64_t pairs_base =
+      kCutHeaderBytes + publish * sizeof(SlotRef);
+  for (std::size_t i = 0; i < cuts.cut_pairs.size(); ++i) {
+    const SlotRef& ref = cuts.cut_pairs[i];
+    if (ref.local >= n_local || ref.slot >= num_slots) {
+      throw IoError(IoErrorKind::kIndexOutOfRange,
+                    "cut pair " + std::to_string(i) +
+                        " out of bounds (local=" + std::to_string(ref.local) +
+                        ", slot=" + std::to_string(ref.slot) + ")",
+                    path, 0, pairs_base + i * sizeof(SlotRef));
+    }
+  }
+  return cuts;
+}
+
+void write_sharded_snapshot(const std::string& manifest_path,
+                            const ShardedGraph& sharded) {
+  std::ofstream out(manifest_path);
+  if (!out) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open for write",
+                  manifest_path);
+  }
+  out << kManifestBanner << '\n';
+  out << "vertices " << sharded.num_vertices << '\n';
+  out << "directed_edges " << sharded.num_directed_edges << '\n';
+  out << "slots " << sharded.num_slots() << '\n';
+  out << "shards " << sharded.num_shards() << '\n';
+  for (int k = 0; k < sharded.num_shards(); ++k) {
+    const Shard& shard = sharded.shards[static_cast<std::size_t>(k)];
+    const std::string csr_name = payload_name(manifest_path, k, ".bin");
+    const std::string cut_name = payload_name(manifest_path, k, ".cut");
+    out << "shard " << shard.begin << ' ' << shard.end << ' '
+        << shard.local.num_directed_edges() << ' '
+        << shard.cut_pairs.size() << ' ' << shard.publish.size() << ' '
+        << csr_name << ' ' << cut_name << '\n';
+    io::write_csr_file(resolve(manifest_path, csr_name), shard.local);
+    write_shard_cuts(resolve(manifest_path, cut_name), shard,
+                     sharded.num_slots());
+  }
+  if (!out) {
+    throw IoError(IoErrorKind::kWriteFailed, "manifest write",
+                  manifest_path);
+  }
+}
+
+ShardManifest read_shard_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError(IoErrorKind::kOpenFailed, "cannot open for read", path);
+  }
+  std::string line;
+  std::uint64_t line_no = 0;
+  auto next_line = [&]() -> bool {
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return true;
+  };
+
+  if (!next_line() || line != kManifestBanner) {
+    throw IoError(IoErrorKind::kBadMagic, "not a thrifty shard manifest",
+                  path, 1);
+  }
+
+  ShardManifest manifest;
+  auto header = [&](const char* key) -> std::uint64_t {
+    if (!next_line()) {
+      throw IoError(IoErrorKind::kTruncated,
+                    std::string("missing '") + key + "' header line", path,
+                    line_no + 1);
+    }
+    return header_value(line, key, path, line_no);
+  };
+  const std::uint64_t n = header("vertices");
+  const std::uint64_t m = header("directed_edges");
+  const std::uint64_t slots = header("slots");
+  const std::uint64_t num_shards = header("shards");
+
+  if (n > std::numeric_limits<graph::VertexId>::max()) {
+    throw IoError(IoErrorKind::kHeaderBounds,
+                  "vertex count " + std::to_string(n) +
+                      " exceeds 32-bit vertex ids",
+                  path, 2);
+  }
+  if (slots > n) {
+    throw IoError(IoErrorKind::kHeaderBounds,
+                  "slot count exceeds vertex count", path, 4);
+  }
+  if (num_shards < 1 || num_shards > std::max<std::uint64_t>(n, 1)) {
+    throw IoError(IoErrorKind::kHeaderBounds,
+                  "shard count " + std::to_string(num_shards) +
+                      " outside [1, max(n, 1)]",
+                  path, 5);
+  }
+  manifest.num_vertices = static_cast<graph::VertexId>(n);
+  manifest.num_directed_edges = m;
+  manifest.num_slots = static_cast<std::uint32_t>(slots);
+
+  std::uint64_t edge_sum = 0;
+  std::uint64_t boundary_sum = 0;
+  for (std::uint64_t k = 0; k < num_shards; ++k) {
+    if (!next_line()) {
+      throw IoError(IoErrorKind::kTruncated,
+                    "expected " + std::to_string(num_shards) +
+                        " shard lines, found " + std::to_string(k),
+                    path, line_no + 1);
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    ShardMeta meta;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::string csr_name;
+    std::string cut_name;
+    std::string extra;
+    if (!(fields >> tag >> begin >> end >> meta.intra_edges >>
+          meta.cut_pair_count >> meta.boundary_count >> csr_name >>
+          cut_name) ||
+        tag != "shard" || (fields >> extra)) {
+      malformed(path, line_no,
+                "expected 'shard <begin> <end> <intra> <pairs> "
+                "<boundary> <csr> <cut>'");
+    }
+    if (begin > end || end > n) {
+      throw IoError(IoErrorKind::kInvariantViolation,
+                    "shard range [" + std::to_string(begin) + ", " +
+                        std::to_string(end) + ") outside [0, " +
+                        std::to_string(n) + ")",
+                    path, line_no);
+    }
+    const std::uint64_t expected_begin =
+        manifest.shards.empty()
+            ? 0
+            : static_cast<std::uint64_t>(manifest.shards.back().end);
+    if (begin != expected_begin) {
+      throw IoError(IoErrorKind::kInvariantViolation,
+                    "shard ranges not contiguous: expected begin " +
+                        std::to_string(expected_begin) + ", got " +
+                        std::to_string(begin),
+                    path, line_no);
+    }
+    if (meta.boundary_count > end - begin) {
+      throw IoError(IoErrorKind::kCountMismatch,
+                    "boundary count exceeds shard size", path, line_no);
+    }
+    meta.begin = static_cast<graph::VertexId>(begin);
+    meta.end = static_cast<graph::VertexId>(end);
+    meta.csr_path = resolve(path, csr_name);
+    meta.cut_path = resolve(path, cut_name);
+    edge_sum += meta.intra_edges + meta.cut_pair_count;
+    boundary_sum += meta.boundary_count;
+    manifest.shards.push_back(std::move(meta));
+  }
+  if (!manifest.shards.empty() &&
+      manifest.shards.back().end != manifest.num_vertices) {
+    throw IoError(IoErrorKind::kInvariantViolation,
+                  "shard ranges cover [0, " +
+                      std::to_string(manifest.shards.back().end) +
+                      ") but the manifest declares " + std::to_string(n) +
+                      " vertices",
+                  path, line_no);
+  }
+  if (edge_sum != m) {
+    throw IoError(IoErrorKind::kCountMismatch,
+                  "shard edges sum to " + std::to_string(edge_sum) +
+                      " but the manifest declares " + std::to_string(m),
+                  path, line_no);
+  }
+  if (boundary_sum != slots) {
+    throw IoError(IoErrorKind::kCountMismatch,
+                  "shard boundary counts sum to " +
+                      std::to_string(boundary_sum) +
+                      " but the manifest declares " +
+                      std::to_string(slots) + " slots",
+                  path, line_no);
+  }
+  while (next_line()) {
+    if (!line.empty()) {
+      throw IoError(IoErrorKind::kTrailingGarbage,
+                    "unexpected content past the shard table", path,
+                    line_no);
+    }
+  }
+  return manifest;
+}
+
+ShardedGraph load_sharded_graph(const ShardManifest& manifest,
+                                bool use_mmap) {
+  ShardedGraph sharded;
+  sharded.num_vertices = manifest.num_vertices;
+  sharded.num_directed_edges = manifest.num_directed_edges;
+  sharded.slot_vertex.assign(manifest.num_slots, manifest.num_vertices);
+  for (const ShardMeta& meta : manifest.shards) {
+    Shard shard;
+    shard.begin = meta.begin;
+    shard.end = meta.end;
+    shard.local = io::read_csr_file_auto(meta.csr_path, use_mmap);
+    if (shard.local.num_vertices() != meta.num_local() ||
+        shard.local.num_directed_edges() != meta.intra_edges) {
+      throw IoError(IoErrorKind::kCountMismatch,
+                    "shard snapshot shape disagrees with manifest",
+                    meta.csr_path);
+    }
+    ShardCuts cuts = read_shard_cuts(meta.cut_path, meta.num_local(),
+                                     manifest.num_slots);
+    if (cuts.publish.size() != meta.boundary_count ||
+        cuts.cut_pairs.size() != meta.cut_pair_count) {
+      throw IoError(IoErrorKind::kCountMismatch,
+                    "sidecar counts disagree with manifest",
+                    meta.cut_path);
+    }
+    for (const SlotRef& ref : cuts.publish) {
+      sharded.slot_vertex[ref.slot] = shard.begin + ref.local;
+    }
+    shard.publish = std::move(cuts.publish);
+    shard.cut_pairs = std::move(cuts.cut_pairs);
+    sharded.shards.push_back(std::move(shard));
+  }
+  for (std::size_t slot = 0; slot < sharded.slot_vertex.size(); ++slot) {
+    if (sharded.slot_vertex[slot] >= sharded.num_vertices) {
+      throw IoError(IoErrorKind::kInvariantViolation,
+                    "slot " + std::to_string(slot) +
+                        " never published by any shard");
+    }
+  }
+  return sharded;
+}
+
+}  // namespace thrifty::shard

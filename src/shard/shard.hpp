@@ -1,0 +1,91 @@
+// Sharded decomposition of a CSR snapshot for out-of-core execution.
+//
+// A shard owns a contiguous vertex range (edge-balanced over the CSR
+// offsets, exactly like the §V-A thread partitions but at snapshot
+// granularity) and materialises two things:
+//
+//   * its *intra-shard* subgraph — every edge whose endpoints both lie
+//     in the range, renumbered to shard-local ids, stored as a fully
+//     valid THRFTYG1 CSR so the existing stream/mmap loaders (with all
+//     their validation) load it unchanged;
+//   * its *cut edges* — each directed edge (u, v) with u owned and v
+//     remote becomes a compact (local u, slot(v)) pair, where slot(v)
+//     indexes the global boundary-label table.
+//
+// The boundary-label table has one slot per *boundary vertex* (a vertex
+// with at least one cut edge), assigned in ascending global-id order.
+// The table is the only state that crosses shards during a sharded
+// solve: labels of interior vertices never leave their shard, which is
+// what makes the exchange bandwidth-frugal (Koohi Esfahani et al.'s
+// distributed-CC framing, kept in-process here).
+//
+// Persistence (manifest + per-shard files) lives in shard/manifest.hpp;
+// the solver in shard/solver.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace thrifty::shard {
+
+/// A shard-local vertex paired with a boundary-table slot.  Used both
+/// for cut edges (owned vertex, *remote* neighbour's slot — the merge
+/// direction) and for the publish list (owned boundary vertex, its
+/// *own* slot — the export direction).
+struct SlotRef {
+  graph::VertexId local = 0;
+  std::uint32_t slot = 0;
+
+  friend bool operator==(const SlotRef&, const SlotRef&) = default;
+};
+
+struct Shard {
+  /// Owned global vertex range [begin, end).
+  graph::VertexId begin = 0;
+  graph::VertexId end = 0;
+  /// Intra-shard subgraph over local ids 0..end-begin (rows for every
+  /// owned vertex, including ones with only cut edges).
+  graph::CsrGraph local;
+  /// Owned boundary vertices with their own slots, ascending by id.
+  std::vector<SlotRef> publish;
+  /// Cut edges as (owned local vertex, remote neighbour's slot),
+  /// grouped by local vertex in CSR order.
+  std::vector<SlotRef> cut_pairs;
+
+  [[nodiscard]] graph::VertexId num_local() const { return end - begin; }
+};
+
+struct ShardedGraph {
+  graph::VertexId num_vertices = 0;
+  /// Directed edge count of the original graph (intra + cut).
+  graph::EdgeOffset num_directed_edges = 0;
+  /// slot -> global vertex id, ascending (one entry per boundary
+  /// vertex).  The inverse lookup lives implicitly in each shard's
+  /// publish/cut_pairs lists.
+  std::vector<graph::VertexId> slot_vertex;
+  std::vector<Shard> shards;
+
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards.size());
+  }
+  [[nodiscard]] std::uint32_t num_slots() const {
+    return static_cast<std::uint32_t>(slot_vertex.size());
+  }
+  /// Total cut-edge pairs across shards (each directed cut edge counted
+  /// once, at its owner).
+  [[nodiscard]] std::uint64_t total_cut_pairs() const;
+  /// Shard owning global vertex `v`.
+  [[nodiscard]] int shard_of(graph::VertexId v) const;
+};
+
+/// Partitions `graph` into `num_shards` contiguous edge-balanced vertex
+/// ranges and materialises every shard's intra-CSR, publish list and
+/// cut pairs.  `num_shards` is clamped to [1, num_vertices] (an empty
+/// graph yields one empty shard).  Deterministic; parallel over shards.
+[[nodiscard]] ShardedGraph partition_shards(const graph::CsrGraph& graph,
+                                            int num_shards);
+
+}  // namespace thrifty::shard

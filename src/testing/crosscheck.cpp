@@ -24,6 +24,7 @@ namespace {
 constexpr std::uint64_t kAlgorithmSeedSalt = 0xc05cull;
 constexpr std::uint64_t kPermutationSalt = 0x9e24ull;
 constexpr std::uint64_t kExtraEdgeSalt = 0xadd1ull;
+constexpr std::uint64_t kShardSalt = 0x54a4dull;
 
 RunSetup default_setup(std::uint64_t scenario_seed) {
   RunSetup setup;
@@ -65,6 +66,16 @@ bool service_still_fails(const RunSetup& setup, const EdgeList& edges,
       .has_value();
 }
 
+/// Sharded-oracle analogue: a "sharded" failure minimizes and replays
+/// through a fresh decomposition + sharded solve at the recorded shard
+/// count (carried in setup.shards).
+bool sharded_still_fails(const RunSetup& setup, const EdgeList& edges,
+                         VertexId num_vertices) {
+  const CsrGraph graph = graph_from_edges(edges, num_vertices);
+  const std::vector<Label> reference = reference_partition(graph);
+  return check_sharded_solve(graph, reference, setup).has_value();
+}
+
 }  // namespace
 
 CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
@@ -93,14 +104,19 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
     const baselines::AlgorithmEntry* entry =
         baselines::find_algorithm(failure.algorithm);
     const bool is_service = failure.algorithm == "service";
-    if (options.minimize && (entry != nullptr || is_service)) {
+    const bool is_sharded = failure.algorithm == "sharded";
+    if (options.minimize && (entry != nullptr || is_service || is_sharded)) {
       const Fault fault{repro.fault, failure.algorithm};
       const FailurePredicate fails = [&](const EdgeList& candidate,
                                          VertexId candidate_vertices) {
-        return is_service
-                   ? service_still_fails(setup, candidate, candidate_vertices)
-                   : still_fails(*entry, setup, fault, candidate,
-                                 candidate_vertices);
+        if (is_service) {
+          return service_still_fails(setup, candidate, candidate_vertices);
+        }
+        if (is_sharded) {
+          return sharded_still_fails(setup, candidate, candidate_vertices);
+        }
+        return still_fails(*entry, setup, fault, candidate,
+                           candidate_vertices);
       };
       // Guard against a failure that does not reproduce through the
       // reference predicate (a non-deterministic bug the sweep caught on
@@ -169,6 +185,11 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
         setup.plan = options.forced_plan;
       }
     }
+    if (options.forced_shards > 0) {
+      for (RunSetup& setup : setups) {
+        setup.shards = options.forced_shards;
+      }
+    }
 
     for (const RunSetup& setup : setups) {
       summary.algorithm_runs += registry_size;
@@ -177,6 +198,15 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
         record(scenario, setup, *failure, scenario.edges,
                scenario.num_vertices);
         return;  // one repro per scenario; move to the next seed
+      }
+      if (options.sharded_oracle && setup.shards > 1) {
+        summary.algorithm_runs += 1;
+        if (const auto failure =
+                check_sharded_solve(graph, reference, setup)) {
+          record(scenario, setup, *failure, scenario.edges,
+                 scenario.num_vertices);
+          return;
+        }
       }
     }
 
@@ -214,6 +244,24 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
         return;
       }
     }
+    if (options.sharded_oracle && options.forced_shards == 0) {
+      // Dedicated sharded leg at a seed-rotated shard count, so every
+      // scenario exercises the boundary exchange even when its sampled
+      // matrix point kept the legacy shards=1.  Skipped under --shards,
+      // which already forced K onto every setup above.
+      static constexpr int kRotation[] = {2, 3, 7};
+      RunSetup sharded = base;
+      sharded.shards = kRotation[support::hash_mix(scenario.seed,
+                                                   kShardSalt) %
+                                 3];
+      summary.algorithm_runs += 1;
+      if (const auto failure =
+              check_sharded_solve(graph, reference, sharded)) {
+        record(scenario, sharded, *failure, scenario.edges,
+               scenario.num_vertices);
+        return;
+      }
+    }
   };
 
   for (const std::string& spec : options.corpus_specs) {
@@ -240,6 +288,9 @@ CrosscheckSummary run_crosscheck(const CrosscheckOptions& options) {
 bool replay_repro(const Repro& repro) {
   if (repro.algorithm == "service") {
     return service_still_fails(repro.setup, repro.edges, repro.num_vertices);
+  }
+  if (repro.algorithm == "sharded") {
+    return sharded_still_fails(repro.setup, repro.edges, repro.num_vertices);
   }
   const baselines::AlgorithmEntry* entry =
       baselines::find_algorithm(repro.algorithm);

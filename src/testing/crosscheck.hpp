@@ -34,6 +34,11 @@ struct CrosscheckOptions {
   /// batch coarsening and post-recompaction agreement with the
   /// union-find reference (check_service_ingest).
   bool service_oracle = true;
+  /// Sharded-solver oracle: every scenario additionally runs the
+  /// sharded boundary-exchange solve (check_sharded_solve) at a
+  /// seed-rotated shard count (2, 3 or 7), plus at every matrix point
+  /// carrying its own shards value.
+  bool sharded_oracle = true;
 
   /// Round-trip every scenario graph through a binary snapshot and the
   /// zero-copy mmap loader before running the oracles, so the whole
@@ -53,6 +58,12 @@ struct CrosscheckOptions {
   /// this plan while the oracles hold it to the union-find reference.
   /// Empty leaves the matrix's own plan points in charge.
   std::string forced_plan;
+
+  /// Force a shard count onto every setup the sweep runs (the --shards
+  /// smoke leg): the sharded oracle then checks every scenario at this
+  /// K under every schedule point.  0 leaves the matrix's own shard
+  /// points and the seed-rotated leg in charge.
+  int forced_shards = 0;
 
   /// Shrink failing scenarios with the delta-debugging minimizer.
   bool minimize = true;

@@ -10,6 +10,8 @@
 #include "graph/builder.hpp"
 #include "reorder/relabel.hpp"
 #include "serve/service.hpp"
+#include "shard/shard.hpp"
+#include "shard/solver.hpp"
 #include "support/parallel.hpp"
 #include "support/random.hpp"
 #include "support/run_config.hpp"
@@ -43,6 +45,9 @@ std::string RunSetup::describe() const {
   }
   if (plan != "auto") {
     out << " plan=" << plan;
+  }
+  if (shards != 1) {
+    out << " shards=" << shards;
   }
   return out.str();
 }
@@ -129,6 +134,26 @@ std::vector<RunSetup> perturbation_matrix() {
     setup = RunSetup{};
     setup.threads = 4;
     setup.plan = "fixed:pullf,push,finish";
+    matrix.push_back(setup);
+  }
+  // Shard-count dimension: points with shards > 1 additionally run the
+  // sharded boundary-exchange solver (check_sharded_solve) on a K-way
+  // decomposition.  2 (minimal exchange), 3 (odd, uneven ranges) and 7
+  // (more shards than most scenario components, so nearly every edge is
+  // a cut edge) cover the decomposition extremes; shard counts above
+  // the vertex count clamp inside the partitioner.
+  {
+    RunSetup setup;
+    setup.threads = 4;
+    setup.shards = 2;
+    matrix.push_back(setup);
+    setup = RunSetup{};
+    setup.threads = 2;
+    setup.shards = 3;
+    matrix.push_back(setup);
+    setup = RunSetup{};
+    setup.threads = 1;
+    setup.shards = 7;
     matrix.push_back(setup);
   }
   return matrix;
@@ -398,6 +423,47 @@ std::optional<OracleFailure> check_edge_addition_monotonicity(
               " split away from its component after edge addition under " +
               setup.describe());
     }
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> check_sharded_solve(
+    const CsrGraph& graph, std::span<const Label> reference,
+    const RunSetup& setup) {
+  // Same full-configuration snapshot as run_under: the round-0 local
+  // solves and the exchange sweeps all run under the perturbed width,
+  // hub split and kernel level.
+  support::RunConfig config = support::run_config();
+  config.hub_split_degree = setup.hub_split_degree;
+  config.placement = setup.placement;
+  config.simd = setup.simd;
+  config.numa_steal = setup.numa_steal;
+  config.plan = setup.plan;
+  const support::RunConfigOverride config_scope(config);
+  const support::ThreadCountGuard thread_scope(
+      setup.threads > 0 ? setup.threads : support::num_threads());
+
+  const int num_shards = std::max(setup.shards, 2);
+  const shard::ShardedGraph sharded =
+      shard::partition_shards(graph, num_shards);
+  shard::ShardedCcOptions options;
+  options.cc.seed = setup.algorithm_seed;
+  if (setup.density_threshold) {
+    options.cc.density_threshold = *setup.density_threshold;
+  }
+  const shard::ShardedCcResult result = shard::sharded_cc(sharded, options);
+  if (!core::same_partition(result.label_span(), reference)) {
+    OracleFailure failure;
+    failure.oracle = "sharded";
+    failure.algorithm = "sharded";
+    std::ostringstream detail;
+    detail << "sharded partition (K=" << sharded.num_shards()
+           << ") differs from union-find reference ("
+           << core::count_components(result.label_span()) << " vs "
+           << core::count_components(reference) << " components) under "
+           << setup.describe();
+    failure.detail = detail.str();
+    return failure;
   }
   return std::nullopt;
 }

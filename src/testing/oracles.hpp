@@ -67,6 +67,11 @@ struct RunSetup {
   /// "auto", or an adversarial "fixed:<spec>" the sanitizing executor
   /// must survive.  Only the "adaptive" registry entry reads it.
   std::string plan = "auto";
+  /// Shard count for the sharded-solve oracle (src/shard/): points with
+  /// shards > 1 additionally run the sharded solver on a K-way
+  /// decomposition and hold its partition to the reference.  1 (the
+  /// legacy default) skips the sharded leg.
+  int shards = 1;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -157,6 +162,16 @@ struct OracleFailure {
 [[nodiscard]] std::optional<OracleFailure> check_service_ingest(
     const graph::EdgeList& edges, graph::VertexId num_vertices,
     std::span<const graph::Label> reference, const RunSetup& setup);
+
+/// Oracle 6 (sharded solver): decomposes the graph into
+/// max(setup.shards, 2) contiguous shards (src/shard/), runs the
+/// sharded boundary-exchange solve under the schedule point, and holds
+/// the resulting partition to `reference`.  The failure's algorithm
+/// name is "sharded" (not a registry entry; minimization and replay
+/// route through a fresh sharded solve).
+[[nodiscard]] std::optional<OracleFailure> check_sharded_solve(
+    const graph::CsrGraph& graph, std::span<const graph::Label> reference,
+    const RunSetup& setup);
 
 // The derived edge lists the permutation and monotonicity oracles run
 // on, exposed so a failure can be re-materialised into a replayable

@@ -49,6 +49,7 @@ void write_repro(std::ostream& out, const Repro& repro) {
   out << "numa_steal " << support::to_string(repro.setup.numa_steal)
       << "\n";
   out << "plan " << sanitize(repro.setup.plan) << "\n";
+  out << "shards " << repro.setup.shards << "\n";
   out << "fault " << to_string(repro.fault) << "\n";
   out << "vertices " << repro.num_vertices << "\n";
   out << "edges " << repro.edges.size() << "\n";
@@ -129,6 +130,10 @@ Repro read_repro(std::istream& in) {
       // the RunSetup default ("auto") covers those.  Kept as raw text —
       // replay parses and validates it at solve start.
       repro.setup.plan = value;
+    } else if (key == "shards") {
+      // Absent in repro files from before the sharded-solver dimension;
+      // the RunSetup default (1, the single-shot path) covers those.
+      repro.setup.shards = std::stoi(value);
     } else if (key == "fault") {
       const auto kind = parse_fault_kind(value);
       if (!kind) malformed("unknown fault kind '" + value + "'");

@@ -63,8 +63,9 @@ TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
   const std::vector<RunSetup> matrix = perturbation_matrix();
   // 3 threads x 3 hub degrees x 3 thresholds + 2 placement points
   // + 2 forced-scalar kernel points + 3 vertex-reorder points
-  // + 1 global-steal point + 3 adversarial-plan points.
-  EXPECT_EQ(matrix.size(), 38u);
+  // + 1 global-steal point + 3 adversarial-plan points
+  // + 3 shard-count points.
+  EXPECT_EQ(matrix.size(), 41u);
   EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
                           [](const RunSetup& s) {
                             return s.placement !=
@@ -89,6 +90,9 @@ TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
             1);
   EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
                           [](const RunSetup& s) { return s.plan != "auto"; }),
+            3);
+  EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
+                          [](const RunSetup& s) { return s.shards > 1; }),
             3);
   const RunSetup a = sampled_perturbation(5);
   const RunSetup b = sampled_perturbation(5);

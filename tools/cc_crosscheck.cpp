@@ -11,9 +11,10 @@
 //   cc_crosscheck [--scenarios=N] [--seed=S] [--perturb=none|sampled|all]
 //                 [--corpus=FILE] [--repro-dir=DIR] [--no-minimize]
 //                 [--no-permutation] [--no-monotonicity] [--no-service]
-//                 [--max-failures=N] [--inject=split|merge]
+//                 [--no-sharded] [--max-failures=N] [--inject=split|merge]
 //                 [--inject-into=ALGO] [--list-families]
 //                 [--mmap-roundtrip] [--reorder=ORDER] [--plan=SPEC]
+//                 [--shards=K]
 //   cc_crosscheck --replay=FILE       (exit 1 iff the repro reproduces)
 #include <cstdio>
 #include <fstream>
@@ -34,13 +35,14 @@ constexpr const char* kUsage =
     "                     [--perturb=none|sampled|all] [--corpus=FILE]\n"
     "                     [--repro-dir=DIR] [--no-minimize]\n"
     "                     [--no-permutation] [--no-monotonicity]\n"
-    "                     [--no-service] [--max-failures=N]\n"
+    "                     [--no-service] [--no-sharded]\n"
+    "                     [--max-failures=N]\n"
     "                     [--inject=split|merge]\n"
     "                     [--inject-into=ALGO] [--list-families]\n"
     "                     [--mmap-roundtrip]\n"
     "                     [--reorder=none|degree|degree-asc|hub-cluster|\n"
     "                                window|bfs|random]\n"
-    "                     [--plan=auto|fixed:<spec>]\n"
+    "                     [--plan=auto|fixed:<spec>] [--shards=K]\n"
     "       cc_crosscheck --replay=FILE\n";
 
 std::vector<std::string> read_corpus(const std::string& path) {
@@ -87,9 +89,9 @@ int run(int argc, char** argv) {
   }
   const auto unknown = args.unknown_flags(
       {"scenarios", "seed", "perturb", "corpus", "repro-dir", "no-minimize",
-       "no-permutation", "no-monotonicity", "no-service", "max-failures",
-       "inject", "inject-into", "list-families", "mmap-roundtrip", "reorder",
-       "plan", "replay", "help"});
+       "no-permutation", "no-monotonicity", "no-service", "no-sharded",
+       "max-failures", "inject", "inject-into", "list-families",
+       "mmap-roundtrip", "reorder", "plan", "shards", "replay", "help"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n%s", unknown.front().c_str(),
                  kUsage);
@@ -116,7 +118,21 @@ int run(int argc, char** argv) {
   options.permutation_oracle = !args.has_flag("no-permutation");
   options.monotonicity_oracle = !args.has_flag("no-monotonicity");
   options.service_oracle = !args.has_flag("no-service");
+  options.sharded_oracle = !args.has_flag("no-sharded");
   options.mmap_roundtrip = args.has_flag("mmap-roundtrip");
+  if (args.flag("shards")) {
+    const auto shards = args.flag_int("shards", 0);
+    if (shards < 2) {
+      std::fprintf(stderr, "--shards needs K >= 2\n%s", kUsage);
+      return 2;
+    }
+    if (!options.sharded_oracle) {
+      std::fprintf(stderr, "--shards conflicts with --no-sharded\n%s",
+                   kUsage);
+      return 2;
+    }
+    options.forced_shards = static_cast<int>(shards);
+  }
   if (const auto order = args.flag("reorder")) {
     const auto kind = reorder::parse_order_kind(*order);
     if (!kind) {

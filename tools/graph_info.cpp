@@ -4,10 +4,15 @@
 //
 //   graph_info <graph|gen:spec> [--histogram] [--components] [--memory]
 //              [--mmap]
+//   graph_info <snapshot.shards> --shards
 //
 // --memory prints per-array byte sizes, whether the graph owns its
 // memory (vs aliasing a mapping), and the process resident set — with
 // --mmap on a .bin snapshot the RSS line shows the zero-copy win.
+// --shards treats the input as a sharded-snapshot manifest and prints
+// its summary instead: shard ranges, cut-edge counts, the boundary
+// fraction, and the largest per-shard resident footprint.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -17,6 +22,7 @@
 #include "cc_baselines/reference_cc.hpp"
 #include "core/cc_common.hpp"
 #include "graph/degree_stats.hpp"
+#include "shard/manifest.hpp"
 #include "tools/tool_common.hpp"
 
 namespace {
@@ -39,20 +45,26 @@ std::uint64_t resident_kib() {
   return 0;
 }
 
+int run_shards(const std::string& path);
+
 int run(int argc, char** argv) {
   const tools::ArgParser args(argc, argv);
   if (args.positional().size() != 1 || args.has_flag("help")) {
     std::fprintf(stderr,
                  "usage: graph_info <graph|gen:spec> [--histogram] "
-                 "[--components] [--memory] [--mmap]\n");
+                 "[--components] [--memory] [--mmap] | "
+                 "graph_info <snapshot.shards> --shards\n");
     return args.has_flag("help") ? 0 : 2;
   }
   const auto unknown =
       args.unknown_flags({"histogram", "components", "memory", "mmap",
-                          "help"});
+                          "shards", "help"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
     return 2;
+  }
+  if (args.has_flag("shards")) {
+    return run_shards(args.positional()[0]);
   }
 
   tools::LoadOptions load_options;
@@ -120,6 +132,44 @@ int run(int argc, char** argv) {
                 static_cast<unsigned long long>(giant.size),
                 100.0 * static_cast<double>(giant.size) / g.num_vertices(),
                 hub_label == giant.label ? "yes" : "no");
+  }
+  return 0;
+}
+
+/// --shards: manifest summary for a sharded snapshot.
+int run_shards(const std::string& path) {
+  const shard::ShardManifest manifest = shard::read_shard_manifest(path);
+  std::printf("manifest:    %s\n", path.c_str());
+  std::printf("size:        %u vertices, %llu directed edges, %d "
+              "shard(s)\n",
+              manifest.num_vertices,
+              static_cast<unsigned long long>(
+                  manifest.num_directed_edges),
+              manifest.num_shards());
+  const double n = std::max<double>(1.0, manifest.num_vertices);
+  const double m =
+      std::max<double>(1.0,
+                       static_cast<double>(manifest.num_directed_edges));
+  std::printf("boundary:    %u slot(s) (%.2f%% of vertices), %llu cut "
+              "pair(s) (%.2f%% of directed edges)\n",
+              manifest.num_slots,
+              100.0 * manifest.num_slots / n,
+              static_cast<unsigned long long>(manifest.total_cut_pairs()),
+              100.0 * static_cast<double>(manifest.total_cut_pairs()) / m);
+  std::printf("resident:    max shard CSR %.1f MiB (minimum streaming "
+              "window)\n",
+              static_cast<double>(manifest.max_shard_csr_bytes()) /
+                  (1024.0 * 1024.0));
+  for (int k = 0; k < manifest.num_shards(); ++k) {
+    const shard::ShardMeta& meta =
+        manifest.shards[static_cast<std::size_t>(k)];
+    std::printf("  shard %-3d  [%u, %u)  intra %llu  cut %llu  "
+                "boundary %llu  %.1f MiB\n",
+                k, meta.begin, meta.end,
+                static_cast<unsigned long long>(meta.intra_edges),
+                static_cast<unsigned long long>(meta.cut_pair_count),
+                static_cast<unsigned long long>(meta.boundary_count),
+                static_cast<double>(meta.csr_bytes()) / (1024.0 * 1024.0));
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 //                         bfs|random] [--seed=S]
 //              [--plan=auto|fixed:<spec>|replay:<file>]
 //              [--plan-trace=FILE]
+//              [--shards=K] [--memory-budget=BYTES[k|m|g]]
 //
 // <graph> is a file (.el/.txt edge list, .bin binary CSR, .mtx Matrix
 // Market) or a generator spec (gen:rmat:scale=16,ef=16 — see
@@ -25,7 +26,17 @@
 // finish) or replay:<file> (byte-exact re-execution of a recorded
 // trace).  --plan-trace dumps the decision record of the solve to FILE
 // for diffing and later replay.
+//
+// --shards=K runs the sharded solver (src/shard/) on an in-memory
+// K-way decomposition of the input.  A <snapshot>.shards manifest as
+// the input runs the *streaming* sharded solver instead: shard CSRs
+// are windowed through the mmap residency policy, and
+// --memory-budget caps the resident window (accepts k/m/g suffixes;
+// 0 or absent = unlimited).  Sharded runs are exclusive with
+// --algo/--plan/--reorder; --verify needs the whole graph and is
+// only available for the in-memory form.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -40,6 +51,9 @@
 #include "plan/trace.hpp"
 #include "reorder/relabel.hpp"
 #include "reorder/reorder.hpp"
+#include "shard/manifest.hpp"
+#include "shard/shard.hpp"
+#include "shard/solver.hpp"
 #include "support/run_config.hpp"
 #include "support/timer.hpp"
 #include "tools/tool_common.hpp"
@@ -47,6 +61,146 @@
 namespace {
 
 using namespace thrifty;  // NOLINT(google-build-using-namespace)
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(),
+                      suffix) == 0;
+}
+
+/// Parses "1073741824" / "512m" / "2g" into bytes; nullopt on garbage.
+std::optional<std::uint64_t> parse_bytes(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t multiplier = 1;
+  std::string digits = text;
+  switch (digits.back()) {
+    case 'k': case 'K': multiplier = 1ull << 10; break;
+    case 'm': case 'M': multiplier = 1ull << 20; break;
+    case 'g': case 'G': multiplier = 1ull << 30; break;
+    default: break;
+  }
+  if (multiplier != 1) digits.pop_back();
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::stoull(digits) * multiplier;
+}
+
+/// Shared tail of both sharded forms: report, optionally verify
+/// against the full graph (in-memory form only), optionally dump
+/// labels.
+int finish_sharded(const tools::ArgParser& args,
+                   const shard::ShardedCcResult& result, double solve_ms,
+                   int num_shards, const graph::CsrGraph* full_graph) {
+  std::printf("sharded: %llu components in %.2f ms (K=%d, rounds=%d)\n",
+              static_cast<unsigned long long>(
+                  core::count_components(result.label_span())),
+              solve_ms, num_shards, result.stats.rounds);
+  std::printf("shards: sweep %.2f ms, exchange %.2f ms, loads %llu, "
+              "evictions %llu, peak window %.1f MiB, skipped %llu, "
+              "boundary updates %llu\n",
+              result.stats.sweep_ms, result.stats.exchange_ms,
+              static_cast<unsigned long long>(result.stats.shard_loads),
+              static_cast<unsigned long long>(result.stats.evictions),
+              static_cast<double>(result.stats.peak_window_bytes) /
+                  (1024.0 * 1024.0),
+              static_cast<unsigned long long>(
+                  result.stats.shards_skipped),
+              static_cast<unsigned long long>(
+                  result.stats.boundary_updates));
+  if (args.has_flag("verify")) {
+    if (full_graph == nullptr) {
+      std::fprintf(stderr,
+                   "verify: skipped (needs the whole graph; not "
+                   "available for a .shards manifest input)\n");
+    } else {
+      const auto verdict =
+          core::verify_labels(*full_graph, result.label_span());
+      std::printf("verify: %s\n",
+                  verdict.valid ? "ok" : verdict.message.c_str());
+      if (!verdict.valid) return 1;
+    }
+  }
+  if (const auto out_path = args.flag("out");
+      out_path && !out_path->empty()) {
+    std::ofstream out(*out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path->c_str());
+      return 1;
+    }
+    for (std::size_t v = 0; v < result.labels.size(); ++v) {
+      out << v << ' ' << result.labels[v] << '\n';
+    }
+    std::fprintf(stderr, "labels written to %s\n", out_path->c_str());
+  }
+  return 0;
+}
+
+/// --shards=K / .shards-manifest entry point.
+int run_sharded(const tools::ArgParser& args, bool manifest_input) {
+  for (const char* flag : {"algo", "plan", "plan-trace", "reorder"}) {
+    if (args.flag(flag)) {
+      std::fprintf(stderr, "--%s does not apply to sharded runs\n", flag);
+      return 2;
+    }
+  }
+  shard::ShardedCcOptions options;
+  if (const double threshold = args.flag_double("threshold", -1.0);
+      threshold >= 0.0) {
+    options.cc.density_threshold = threshold;
+  }
+  if (const auto budget = args.flag("memory-budget")) {
+    const auto bytes = parse_bytes(*budget);
+    if (!bytes) {
+      std::fprintf(stderr, "bad --memory-budget value '%s'\n",
+                   budget->c_str());
+      return 2;
+    }
+    options.memory_budget_bytes = *bytes;
+  }
+
+  const std::string& input = args.positional()[0];
+  if (manifest_input) {
+    const shard::ShardManifest manifest =
+        shard::read_shard_manifest(input);
+    std::fprintf(stderr,
+                 "loaded: manifest %s (%u vertices, %llu directed "
+                 "edges, %d shard(s)) [streaming]\n",
+                 input.c_str(), manifest.num_vertices,
+                 static_cast<unsigned long long>(
+                     manifest.num_directed_edges),
+                 manifest.num_shards());
+    support::Timer timer;
+    const shard::ShardedCcResult result =
+        shard::sharded_cc(manifest, options);
+    return finish_sharded(args, result, timer.elapsed_ms(),
+                          manifest.num_shards(), nullptr);
+  }
+
+  const auto shards = args.flag_int("shards", 0);
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be a positive shard count\n");
+    return 2;
+  }
+  if (options.memory_budget_bytes != 0) {
+    std::fprintf(stderr,
+                 "note: --memory-budget only applies to .shards "
+                 "manifest inputs (in-memory decomposition ignores "
+                 "it)\n");
+  }
+  tools::LoadOptions load_options;
+  load_options.use_mmap = args.has_flag("mmap");
+  const graph::CsrGraph g = tools::load_graph(input, load_options);
+  std::fprintf(stderr, "loaded: %s%s\n", tools::summarize(g).c_str(),
+               g.owns_memory() ? "" : " [mmap]");
+  const shard::ShardedGraph sharded =
+      shard::partition_shards(g, static_cast<int>(shards));
+  support::Timer timer;
+  const shard::ShardedCcResult result = shard::sharded_cc(sharded, options);
+  return finish_sharded(args, result, timer.elapsed_ms(),
+                        sharded.num_shards(), &g);
+}
 
 int run(int argc, char** argv) {
   const tools::ArgParser args(argc, argv);
@@ -65,13 +219,14 @@ int run(int argc, char** argv) {
                  "[--stats] [--list] [--mmap] [--placement=P] "
                  "[--reorder=ORDER] [--seed=S] "
                  "[--plan=auto|fixed:<spec>|replay:<file>] "
-                 "[--plan-trace=FILE]\n");
+                 "[--plan-trace=FILE] [--shards=K] "
+                 "[--memory-budget=BYTES]\n");
     return args.has_flag("help") ? 0 : 2;
   }
   const auto unknown = args.unknown_flags(
       {"algo", "threshold", "trials", "out", "verify", "stats", "list",
        "help", "mmap", "placement", "reorder", "seed", "plan",
-       "plan-trace"});
+       "plan-trace", "shards", "memory-budget"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.front().c_str());
     return 2;
@@ -103,6 +258,12 @@ int run(int argc, char** argv) {
     config.plan = *text;
   }
   const support::RunConfigOverride config_scope(config);
+
+  const bool manifest_input = ends_with(args.positional()[0], ".shards");
+  if (manifest_input || args.flag("shards") ||
+      args.flag("memory-budget")) {
+    return run_sharded(args, manifest_input);
+  }
 
   tools::LoadOptions load_options;
   load_options.use_mmap = args.has_flag("mmap");
