@@ -9,10 +9,11 @@
 //                       density, no useful frontier sparsity,
 //   * uniform         — flat-quadrant R-MAT (a = b = c = d = 0.25):
 //                       no skew, so the profile must *not* split hubs.
-// Every (scenario, plan) pair is cross-checked against the union-find
-// reference partition before it is timed — an adversarial plan may cost
-// time, never correctness.  `--json <path>` dumps the numbers for
-// scripts/bench_compare.py.
+// The plan column sweeps the fixed strategy scripts plus the
+// barrier-free async drain (fixed:async); every (scenario, plan) pair
+// is cross-checked against the union-find reference partition before
+// it is timed — an adversarial plan may cost time, never correctness.
+// `--json <path>` dumps the numbers for scripts/bench_compare.py.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -106,6 +107,7 @@ constexpr PlanRow kPlans[] = {
     {"push", "fixed:push"},
     {"pullf+push", "fixed:pullf,push"},
     {"finish", "fixed:finish"},
+    {"async", "fixed:async"},
 };
 
 template <typename Fn>

@@ -10,7 +10,11 @@
 //   * pull sweep locality: the same min-gather sweep on original vs
 //     degree-reordered vertex ids (identical work, denser gathers),
 //   * end-to-end thrifty_cc on the twitter stand-in (with and without
-//     hub splitting).
+//     hub splitting),
+//   * plan-driven solves on the star-dominated graph: the static
+//     pullf+push script vs the adaptive auto plan, and
+//     barrier-synchronous pull sweeps vs the barrier-free async drain
+//     (fixed:async), both cross-checked before timing.
 // `--json <path>` dumps the numbers for scripts/bench_compare.py.
 #include <algorithm>
 #include <atomic>
@@ -637,6 +641,45 @@ int run(int argc, char** argv) {
     });
     report.add_comparison("adaptive_plan_e2e", baseline_ms, optimized_ms);
     table.add_row({"adaptive_plan_e2e (pullf+push/auto)",
+                   bench::TablePrinter::fmt_ms(baseline_ms),
+                   bench::TablePrinter::fmt_ms(optimized_ms),
+                   bench::TablePrinter::fmt_ratio(baseline_ms /
+                                                  optimized_ms)});
+  }
+
+  // --- Barrier-free async drain on the plain skewed R-MAT (no
+  // overlaid star — the moderate-skew band the adaptive planner routes
+  // to async, not the hub-degenerate shape above): full
+  // barrier-synchronous pull sweeps to the fixed point vs a single
+  // fixed:async step (CAS-min publish, dirty-flag work stealing, no
+  // barriers).  Partitions are cross-checked before timing — the async
+  // interior is schedule-dependent, the fixed point is not.
+  {
+    gen::RmatParams params;
+    params.scale = rmat_scale;
+    params.edge_factor = 8;
+    const CsrGraph g =
+        graph::build_csr(gen::rmat_edges(params), id_space).graph;
+    const core::CcOptions cc_options;
+    const plan::PlanSpec pull = plan::parse_plan_spec("fixed:pull");
+    const plan::PlanSpec async = plan::parse_plan_spec("fixed:async");
+    const plan::PlanResult from_pull =
+        plan::solve_with_plan(g, cc_options, pull);
+    const plan::PlanResult from_async =
+        plan::solve_with_plan(g, cc_options, async);
+    if (!core::same_partition(from_pull.result.label_span(),
+                              from_async.result.label_span())) {
+      std::fprintf(stderr, "FATAL: async solve diverged — refusing to time\n");
+      std::abort();
+    }
+    const double baseline_ms = min_time_ms(trials, [&] {
+      (void)plan::solve_with_plan(g, cc_options, pull);
+    });
+    const double optimized_ms = min_time_ms(trials, [&] {
+      (void)plan::solve_with_plan(g, cc_options, async);
+    });
+    report.add_comparison("async_solve_e2e", baseline_ms, optimized_ms);
+    table.add_row({"async_solve_e2e (pull/async)",
                    bench::TablePrinter::fmt_ms(baseline_ms),
                    bench::TablePrinter::fmt_ms(optimized_ms),
                    bench::TablePrinter::fmt_ratio(baseline_ms /

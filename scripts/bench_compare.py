@@ -56,24 +56,34 @@ def show_single(doc):
 def compare(old_doc, new_doc, metric, threshold=None):
     old_entries = {e.get("name"): e for e in old_doc["benchmarks"]}
     ratios = []
+    metric_matched = False
     print(f"{'benchmark':32s} {'metric':16s} {'old':>10s} {'new':>10s} "
           f"{'old/new':>8s}")
     for entry in new_doc["benchmarks"]:
         name = entry.get("name")
         old = old_entries.get(name)
         if old is None:
+            # A fresh run grew a row the committed baseline predates
+            # (e.g. a newly added benchmark): name it and keep going so
+            # the gate compares what both reports share.
+            print(f"warning: baseline lacks row '{name}' -- skipping",
+                  file=sys.stderr)
             continue
         keys = [metric] if metric else sorted(
             set(numeric_metrics(entry)) & set(numeric_metrics(old)))
         for key in keys:
             if key not in entry or key not in old:
                 continue
+            metric_matched = True
             old_value, new_value = old[key], entry[key]
             ratio = old_value / new_value if new_value else float("nan")
             print(f"{name:32s} {key:16s} {old_value:10.4g} "
                   f"{new_value:10.4g} {ratio:8.3f}")
             if key.endswith("_ms") and new_value and old_value:
                 ratios.append(ratio)
+    if metric and not metric_matched:
+        sys.exit(f"error: metric '{metric}' matched no entry shared by "
+                 f"the two reports")
     if not ratios:
         sys.exit("error: no matching *_ms metrics between the two reports")
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))

@@ -9,6 +9,7 @@
 #include "cc_baselines/jayanti_tarjan.hpp"
 #include "cc_baselines/reference_cc.hpp"
 #include "cc_baselines/shiloach_vishkin.hpp"
+#include "core/async_cc.hpp"
 #include "core/dolp.hpp"
 #include "core/thrifty.hpp"
 #include "frontier/density.hpp"
@@ -18,7 +19,7 @@ namespace thrifty::baselines {
 
 namespace {
 
-constexpr std::array<AlgorithmEntry, 12> kAlgorithms = {{
+constexpr std::array<AlgorithmEntry, 13> kAlgorithms = {{
     {"sv", "SV", &shiloach_vishkin_cc, false, 0.0},
     {"bfs_cc", "BFS-CC", &bfs_cc, false, 0.0},
     {"dolp", "DO-LP", &core::dolp_cc, true, frontier::kLigraThreshold},
@@ -34,6 +35,7 @@ constexpr std::array<AlgorithmEntry, 12> kAlgorithms = {{
     {"fastsv", "FastSV", &fastsv_cc, true, 0.0},
     {"adaptive", "Adaptive", &plan::solve_adaptive, true,
      frontier::kThriftyThreshold},
+    {"async", "Async", &core::async_cc, true, frontier::kThriftyThreshold},
     {"reference", "Reference", &reference_cc, false, 0.0},
 }};
 

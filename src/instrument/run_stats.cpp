@@ -14,6 +14,8 @@ const char* to_string(Direction direction) {
       return "Initial-Push";
     case Direction::kHook:
       return "Hook-Finish";
+    case Direction::kAsync:
+      return "Async";
   }
   return "?";
 }

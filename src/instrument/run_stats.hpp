@@ -23,6 +23,10 @@ enum class Direction {
   /// Union-find finish of the adaptive executor's sampling-then-finish
   /// cutover: one hook pass over all edges plus a compress (ConnectIt).
   kHook,
+  /// Barrier-free async drain of the adaptive executor: partitions
+  /// propagate through the shared label array until global quiescence
+  /// (core/async_cc.hpp).
+  kAsync,
 };
 
 [[nodiscard]] const char* to_string(Direction direction);

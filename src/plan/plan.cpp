@@ -18,6 +18,8 @@ const char* to_string(StepKind kind) {
       return "push";
     case StepKind::kFinish:
       return "finish";
+    case StepKind::kAsync:
+      return "async";
   }
   return "unknown";
 }
@@ -27,6 +29,7 @@ std::optional<StepKind> parse_step_kind(std::string_view text) {
   if (text == "pullf") return StepKind::kPullFrontier;
   if (text == "push") return StepKind::kPush;
   if (text == "finish") return StepKind::kFinish;
+  if (text == "async") return StepKind::kAsync;
   return std::nullopt;
 }
 
@@ -105,12 +108,25 @@ PlanStep AdaptivePlanner::next(const Observation& observation) {
     step.kind = observation.have_frontier ? StepKind::kPush
                                           : StepKind::kPullFrontier;
   } else {
-    // Dense phase: plain pulls are cheapest, but keep the frontier
-    // materialised while the trajectory is near the switch point so a
-    // push is executable the moment the frontier thins out.
-    step.kind = observation.density < 4.0 * options_.density_threshold
-                    ? StepKind::kPullFrontier
-                    : StepKind::kPull;
+    const bool mid_density =
+        observation.density < 4.0 * options_.density_threshold;
+    // Mid-density + moderate skew: the frontier still carries real mass
+    // but no single hub dominates, so per-partition work is balanced
+    // and the remaining propagation drains faster barrier-free than
+    // through further synchronous sweeps (each of which pays a global
+    // barrier per label hop).  Hub-dominated profiles keep the
+    // synchronous path: their tail partitions are exactly the ones the
+    // hub split was built to break up.  A skew below 1 only occurs in
+    // degenerate or synthetic profiles, where the signal says nothing.
+    if (mid_density && profile_.skew >= 1.0 &&
+        profile_.skew < options_.hub_split_skew) {
+      step.kind = StepKind::kAsync;
+    } else {
+      // Dense phase: plain pulls are cheapest, but keep the frontier
+      // materialised while the trajectory is near the switch point so a
+      // push is executable the moment the frontier thins out.
+      step.kind = mid_density ? StepKind::kPullFrontier : StepKind::kPull;
+    }
   }
   return step;
 }

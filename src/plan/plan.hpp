@@ -51,10 +51,16 @@ enum class StepKind {
   /// Union-find finish: hook every edge into a forest seeded from the
   /// current labels, compress, done (terminal, exact).
   kFinish,
+  /// Barrier-free async drain (core/async_cc.hpp): edge-balanced
+  /// partitions propagate through the shared label array with CAS-min
+  /// publishes and per-partition dirty flags until global quiescence
+  /// (terminal, exact — the min fixed point is schedule-independent).
+  kAsync,
 };
 
 [[nodiscard]] const char* to_string(StepKind kind);
-/// Parses "pull" | "pullf" | "push" | "finish"; nullopt otherwise.
+/// Parses "pull" | "pullf" | "push" | "finish" | "async"; nullopt
+/// otherwise.
 [[nodiscard]] std::optional<StepKind> parse_step_kind(std::string_view text);
 
 /// One iteration's full prescription.
@@ -139,7 +145,9 @@ class Planner {
 };
 
 /// The runtime brain: density-threshold direction switching, skew-driven
-/// hub splitting, sampled giant-component cutover to the finish.
+/// hub splitting, a mid-density barrier-free async drain on
+/// moderate-skew profiles, sampled giant-component cutover to the
+/// finish.
 class AdaptivePlanner : public Planner {
  public:
   AdaptivePlanner(const GraphProfile& profile, const PlanOptions& options);
@@ -170,8 +178,9 @@ class FixedPlanner : public Planner {
 /// value: "auto", "fixed:<spec>", or "replay:<file>".
 ///
 /// A fixed spec is a comma-separated list of `<kind>[*<count>]` items
-/// over the kinds pull | pullf | push | finish, e.g. "fixed:push",
-/// "fixed:pull*2,finish".  The final item repeats until convergence.
+/// over the kinds pull | pullf | push | finish | async, e.g.
+/// "fixed:push", "fixed:pull*2,finish", "fixed:async".  The final item
+/// repeats until convergence.
 struct PlanSpec {
   enum class Mode { kAuto, kFixed, kReplay };
   Mode mode = Mode::kAuto;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cc_baselines/concurrent_hook.hpp"
+#include "core/async_cc.hpp"
 #include "frontier/bitmap.hpp"
 #include "frontier/hub_chunks.hpp"
 #include "support/parallel.hpp"
@@ -151,6 +152,7 @@ class Executor {
       }
 
       std::uint64_t changes = 0;
+      std::uint64_t publishes = 0;
       switch (step.kind) {
         case StepKind::kPull:
           changes = jacobi_pull(step, /*materialise_frontier=*/false);
@@ -170,6 +172,10 @@ class Executor {
           finish();
           converged = true;
           break;
+        case StepKind::kAsync:
+          changes = async_drain(publishes);
+          converged = true;
+          break;
       }
 
       TraceStep record;
@@ -178,6 +184,7 @@ class Executor {
       record.active_vertices = active_vertices_;
       record.active_edges = active_edges_;
       record.label_changes = changes;
+      record.publishes = publishes;
       record.density =
           frontier::frontier_density(active_vertices_, active_edges_, m_);
       record.giant_fraction = obs.giant_fraction;
@@ -238,6 +245,8 @@ class Executor {
         return instrument::Direction::kPush;
       case StepKind::kFinish:
         return instrument::Direction::kHook;
+      case StepKind::kAsync:
+        return instrument::Direction::kAsync;
     }
     return instrument::Direction::kPull;
   }
@@ -338,6 +347,29 @@ class Executor {
     const std::uint64_t changes = count_and_measure_changed();
     pack_changed();
     have_frontier_ = true;
+    return changes;
+  }
+
+  /// Barrier-free async drain to the global min fixed point (terminal,
+  /// like finish).  The interior is schedule-dependent — the observed
+  /// publish count lands in `publishes` for the trace — but the fixed
+  /// point is not, so the deterministic label_changes this returns is
+  /// the before/after diff against a snapshot, not anything counted
+  /// inside the drain.  scratch_ doubles as the snapshot: every other
+  /// step kind that touches it rewrites it in full.
+  std::uint64_t async_drain(std::uint64_t& publishes) {
+    core::copy_labels({labels_.data(), labels_.size()},
+                      {scratch_.data(), scratch_.size()});
+    const core::AsyncStats stats =
+        core::async_propagate(graph_, labels_.data(), options_);
+    publishes = stats.publishes;
+    support::parallel_for<VertexId>(n_, [&](VertexId v) {
+      changed_[v] = labels_[v] != scratch_[v] ? 1 : 0;
+    });
+    const std::uint64_t changes = count_and_measure_changed();
+    active_vertices_ = 0;
+    active_edges_ = 0;
+    have_frontier_ = false;
     return changes;
   }
 

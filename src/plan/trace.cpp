@@ -49,7 +49,13 @@ void write_trace(std::ostream& out, const PlanTrace& trace) {
         << " simd=" << support::to_string(s.step.simd)
         << " active_vertices=" << s.active_vertices
         << " active_edges=" << s.active_edges
-        << " label_changes=" << s.label_changes << " density=";
+        << " label_changes=" << s.label_changes;
+    // Only async steps carry a publish count; older readers warn-skip
+    // the attribute (the executed kind is all replay strictly needs).
+    if (s.step.kind == StepKind::kAsync || s.publishes != 0) {
+      out << " publishes=" << s.publishes;
+    }
+    out << " density=";
     write_double(out, s.density);
     out << " giant=";
     write_double(out, s.giant_fraction);
@@ -131,6 +137,8 @@ PlanTrace read_trace(std::istream& in) {
           step.active_edges = std::stoull(val);
         } else if (name == "label_changes") {
           step.label_changes = std::stoull(val);
+        } else if (name == "publishes") {
+          step.publishes = std::stoull(val);
         } else if (name == "density") {
           step.density = parse_double(val);
         } else if (name == "giant") {

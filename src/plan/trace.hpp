@@ -39,6 +39,12 @@ struct TraceStep {
   std::uint64_t active_vertices = 0;
   std::uint64_t active_edges = 0;
   std::uint64_t label_changes = 0;
+  /// Async steps only: successful CAS-min publishes observed while the
+  /// barrier-free drain ran.  Schedule-dependent — the one field of a
+  /// trace that is *not* byte-stable across thread counts (replay
+  /// re-runs an async step and records, rather than reproduces, its
+  /// interior; the resulting partition is deterministic regardless).
+  std::uint64_t publishes = 0;
   double density = 0.0;
   double giant_fraction = -1.0;
 

@@ -2,9 +2,12 @@
 //
 // The solve runs shard-by-shard over the decomposition of shard.hpp:
 //
-//   Round 0   Every shard is solved *locally* with full Thrifty (hub
-//             split, SIMD pull kernels, zero planting — the whole §IV
-//             pipeline runs unchanged on the intra-shard CSR).  The
+//   Round 0   Every shard is solved *locally* through the plan layer
+//             (src/plan/): the shard's plan spec — "auto" by default,
+//             which hands each intra-shard CSR to the adaptive planner
+//             (including its barrier-free async band), or any
+//             "fixed:<spec>" sequence threaded down from
+//             `thrifty_cc --shards --plan=...`.  The
 //             local labelling is canonicalised, so each owned vertex
 //             ends up labelled with the global id of the smallest
 //             vertex in its *shard-local* component, and every owned
@@ -42,6 +45,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/cc_common.hpp"
 #include "shard/manifest.hpp"
@@ -50,8 +54,16 @@
 namespace thrifty::shard {
 
 struct ShardedCcOptions {
-  /// Options for the round-0 shard-local Thrifty solves.
+  /// Options for the round-0 shard-local solves.
   core::CcOptions cc;
+  /// Plan spec for the round-0 shard-local solves, in
+  /// plan::parse_plan_spec syntax ("auto", "fixed:pull*2,finish",
+  /// "fixed:async", ...).  Every shard canonicalises its local
+  /// labelling, so the spec changes the round-0 schedule, never the
+  /// result.  Replay specs are rejected (a recorded trace describes one
+  /// whole-graph solve, not per-shard interiors); the solve throws
+  /// std::runtime_error on a malformed or replay spec.
+  std::string plan = "auto";
   /// Residency budget in bytes for the streaming (manifest) variant:
   /// the resident shard-CSR window is kept at or below this, evicting
   /// FIFO behind the sweep.  0 = unlimited (shards stay mapped once

@@ -1,0 +1,93 @@
+// Two-phase quiescence detection for barrier-free worker pools.
+//
+// The async label-propagation engine (core/async_cc.hpp) runs workers
+// that drain per-partition dirty flags with no global barrier.  Global
+// termination ("every flag clear and every worker idle") cannot be read
+// atomically, so this counter implements the classic two-phase protocol:
+//
+//   phase 1 — a worker that finds no work announces itself idle
+//     (enter_idle) and keeps polling; observe() yields a version token
+//     once *every* worker is idle;
+//   phase 2 — the worker re-scans its work sources from scratch and,
+//     if they are still empty, calls confirm(token).
+//
+// Soundness sketch: work is only produced by non-idle workers, and a
+// worker leaving idle bumps the version on the same transition that
+// stops the pool looking fully idle (exit_idle).  If confirm() sees the
+// token unchanged with every worker idle, no worker claimed work since
+// the phase-1 observation; and any flag set by a worker that has since
+// gone idle is sequenced before that worker's enter_idle, hence visible
+// to the phase-2 re-scan that observed the full idle count (seq_cst).
+// A clean re-scan therefore proves the flags were — and must remain —
+// clear.  All operations are seq_cst: termination runs once per solve,
+// never on the per-edge hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+namespace thrifty::support {
+
+class QuiescenceCounter {
+ public:
+  QuiescenceCounter() = default;
+  QuiescenceCounter(const QuiescenceCounter&) = delete;
+  QuiescenceCounter& operator=(const QuiescenceCounter&) = delete;
+
+  /// Declares the actual pool width.  Called once, by one worker of the
+  /// running pool (the OpenMP runtime may grant fewer threads than
+  /// requested; sizing from the request would deadlock termination).
+  /// Until this runs, observe() never yields a token.
+  void set_workers(int workers) {
+    workers_.store(workers, std::memory_order_seq_cst);
+  }
+
+  /// Phase 1: the calling worker found no work on a full scan.
+  void enter_idle() { idle_.fetch_add(1, std::memory_order_seq_cst); }
+
+  /// The calling worker spotted work while idle and is going back to
+  /// claim it.  The version bump rides the same transition that stops
+  /// the pool looking fully idle, so a phase-2 check that overlaps the
+  /// claim sees either a partial idle count or a changed version.
+  void exit_idle() {
+    idle_.fetch_sub(1, std::memory_order_seq_cst);
+    version_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Phase-1 observation: a version token when every worker is idle,
+  /// nullopt while any is active (or the width is not yet declared).
+  [[nodiscard]] std::optional<std::uint64_t> observe() const {
+    const std::uint64_t token = version_.load(std::memory_order_seq_cst);
+    const int workers = workers_.load(std::memory_order_seq_cst);
+    if (workers < 0 || idle_.load(std::memory_order_seq_cst) != workers) {
+      return std::nullopt;
+    }
+    return token;
+  }
+
+  /// Phase 2: after the caller re-scanned its work sources and found
+  /// them empty, terminates the pool iff the system was undisturbed
+  /// since the phase-1 observation.
+  bool confirm(std::uint64_t token) {
+    if (version_.load(std::memory_order_seq_cst) != token) return false;
+    const int workers = workers_.load(std::memory_order_seq_cst);
+    if (workers < 0 || idle_.load(std::memory_order_seq_cst) != workers) {
+      return false;
+    }
+    done_.store(true, std::memory_order_seq_cst);
+    return true;
+  }
+
+  [[nodiscard]] bool done() const {
+    return done_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<int> workers_{-1};
+  std::atomic<int> idle_{0};
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace thrifty::support

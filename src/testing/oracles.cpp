@@ -135,6 +135,19 @@ std::vector<RunSetup> perturbation_matrix() {
     setup.threads = 4;
     setup.plan = "fixed:pullf,push,finish";
     matrix.push_back(setup);
+    // The barrier-free async drain, steal-heavy (4 threads, where the
+    // quiescence protocol has real hand-offs to get wrong) and serial
+    // (degenerate single-worker termination).  Repro files carry the
+    // spec through the existing plan key — older files without it
+    // replay under the "auto" default, never under async.
+    setup = RunSetup{};
+    setup.threads = 4;
+    setup.plan = "fixed:async";
+    matrix.push_back(setup);
+    setup = RunSetup{};
+    setup.threads = 1;
+    setup.plan = "fixed:async";
+    matrix.push_back(setup);
   }
   // Shard-count dimension: points with shards > 1 additionally run the
   // sharded boundary-exchange solver (check_sharded_solve) on a K-way

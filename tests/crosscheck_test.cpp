@@ -64,8 +64,8 @@ TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
   // 3 threads x 3 hub degrees x 3 thresholds + 2 placement points
   // + 2 forced-scalar kernel points + 3 vertex-reorder points
   // + 1 global-steal point + 3 adversarial-plan points
-  // + 3 shard-count points.
-  EXPECT_EQ(matrix.size(), 41u);
+  // + 2 async-plan points + 3 shard-count points.
+  EXPECT_EQ(matrix.size(), 43u);
   EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
                           [](const RunSetup& s) {
                             return s.placement !=
@@ -90,7 +90,12 @@ TEST(Perturbation, MatrixCoversThreadsHubsThresholds) {
             1);
   EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
                           [](const RunSetup& s) { return s.plan != "auto"; }),
-            3);
+            5);
+  EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
+                          [](const RunSetup& s) {
+                            return s.plan == "fixed:async";
+                          }),
+            2);
   EXPECT_EQ(std::count_if(matrix.begin(), matrix.end(),
                           [](const RunSetup& s) { return s.shards > 1; }),
             3);

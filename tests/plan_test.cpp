@@ -61,6 +61,16 @@ std::string trace_text(const PlanTrace& trace) {
   return out.str();
 }
 
+// Trace text with the publish counts of async steps zeroed.  The publish
+// count is the one schedule-dependent trace field (trace.hpp): an async
+// step's interior is re-run, not byte-reproduced, so determinism
+// comparisons hold everything *except* that count to byte equality.
+std::string normalized_trace_text(const PlanTrace& trace) {
+  PlanTrace normalized = trace;
+  for (TraceStep& step : normalized.steps) step.publishes = 0;
+  return trace_text(normalized);
+}
+
 bool has_finish_step(const PlanTrace& trace) {
   for (const TraceStep& step : trace.steps) {
     if (step.step.kind == StepKind::kFinish) return true;
@@ -71,7 +81,7 @@ bool has_finish_step(const PlanTrace& trace) {
 TEST(StepKind, RoundTripsThroughText) {
   for (const StepKind kind :
        {StepKind::kPull, StepKind::kPullFrontier, StepKind::kPush,
-        StepKind::kFinish}) {
+        StepKind::kFinish, StepKind::kAsync}) {
     const auto parsed = parse_step_kind(to_string(kind));
     ASSERT_TRUE(parsed.has_value()) << to_string(kind);
     EXPECT_EQ(*parsed, kind);
@@ -157,6 +167,41 @@ TEST(AdaptivePlanner, DensityThresholdDirectionSwitching) {
   EXPECT_EQ(planner.next(obs).kind, StepKind::kPull);
 }
 
+// The async band: mid-density (between the direction threshold and 4x
+// it) with moderate skew (>= 1, below the hub-split point) drains
+// barrier-free; hub-dominated or degenerate-skew profiles keep the
+// synchronous path, as does the deep-dense regime.
+TEST(AdaptivePlanner, AsyncFiresOnlyInMidDensityModerateSkewBand) {
+  GraphProfile profile;
+  profile.num_vertices = 1000;
+  profile.num_directed_edges = 10000;
+  profile.skew = 3.0;
+  PlanOptions options;
+  options.density_threshold = 0.01;
+  AdaptivePlanner moderate(profile, options);
+
+  Observation obs;
+  obs.iteration = 1;
+  obs.density = 0.02;  // mid-density: [threshold, 4*threshold)
+  EXPECT_EQ(moderate.next(obs).kind, StepKind::kAsync);
+  obs.density = 0.9;  // deep-dense: plain pull stays cheapest
+  EXPECT_EQ(moderate.next(obs).kind, StepKind::kPull);
+  obs.density = 0.005;  // sparse: direction switching owns this regime
+  EXPECT_NE(moderate.next(obs).kind, StepKind::kAsync);
+  obs.iteration = 0;  // bootstrap pull always runs first
+  obs.density = 0.02;
+  EXPECT_EQ(moderate.next(obs).kind, StepKind::kPullFrontier);
+
+  profile.skew = 20.0;  // hub-dominated: hub split beats barrier-free
+  AdaptivePlanner skewed(profile, options);
+  obs.iteration = 1;
+  EXPECT_EQ(skewed.next(obs).kind, StepKind::kPullFrontier);
+
+  profile.skew = 0.0;  // degenerate profile: signal says nothing
+  AdaptivePlanner degenerate(profile, options);
+  EXPECT_EQ(degenerate.next(obs).kind, StepKind::kPullFrontier);
+}
+
 TEST(AdaptivePlanner, GiantCutoverTriggersOnlyWhenEnabled) {
   GraphProfile profile;
   profile.num_vertices = 1000;
@@ -205,9 +250,14 @@ TEST(FixedPlanner, LastStepRepeatsForever) {
 
 // Decision determinism: for a fixed seed the auto planner must make the
 // same decisions — and the executor must produce byte-identical labels —
-// at every thread count.
+// at every thread count.  Traces are compared with async publish counts
+// normalized out (the one documented schedule-dependent field);
+// all_satellites drives the planner through its async band, so the
+// terminal async step's label bytes and decision sequence are held to
+// the same bar as the synchronous kinds.
 TEST(Determinism, TraceAndLabelsIdenticalAtEveryThreadCount) {
-  for (const char* scenario : {"permuted_rmat:5", "hub_star:2"}) {
+  for (const char* scenario :
+       {"permuted_rmat:5", "hub_star:2", "all_satellites:6"}) {
     const CsrGraph graph = graph_for(scenario);
     const PlanSpec spec = parse_plan_spec("auto");
     std::string reference_trace;
@@ -216,7 +266,7 @@ TEST(Determinism, TraceAndLabelsIdenticalAtEveryThreadCount) {
       support::ThreadCountGuard guard(threads);
       const PlanResult result =
           solve_with_plan(graph, base_options(), spec);
-      const std::string text = trace_text(result.trace);
+      const std::string text = normalized_trace_text(result.trace);
       const std::vector<Label> labels = labels_of(result.result);
       if (reference_trace.empty()) {
         reference_trace = text;
@@ -244,6 +294,28 @@ TEST(Trace, RoundTripsThroughTextExactly) {
   // struct — not just the text — survives the round trip.
   EXPECT_EQ(parsed, result.trace);
   EXPECT_EQ(trace_text(parsed), text);
+}
+
+// An async step is terminal and records its observed publish count; the
+// count survives the text round trip bit-exactly even though it is not
+// comparable across runs.
+TEST(Trace, AsyncStepRecordsPublishesAndRoundTrips) {
+  const CsrGraph graph = graph_for("two_clique_bridge:4");
+  const PlanResult result = solve_with_plan(
+      graph, base_options(), parse_plan_spec("fixed:async"));
+  ASSERT_EQ(result.trace.steps.size(), 1u);
+  EXPECT_EQ(result.trace.steps[0].step.kind, StepKind::kAsync);
+  // Identity-initialised labels give every non-minimum vertex something
+  // to learn, so a first-step drain must publish.
+  EXPECT_GT(result.trace.steps[0].publishes, 0u);
+  EXPECT_TRUE(core::same_partition(result.result.label_span(),
+                                   testing::reference_partition(graph)));
+
+  const std::string text = trace_text(result.trace);
+  EXPECT_NE(text.find(" publishes="), std::string::npos);
+  std::istringstream in(text);
+  const PlanTrace parsed = read_trace(in);
+  EXPECT_EQ(parsed, result.trace);
 }
 
 TEST(Trace, UnknownKeysAndAttributesAreSkippedNotFatal) {
@@ -399,7 +471,8 @@ TEST(Sanitizer, DemotesPushWithoutFrontier) {
 TEST(AdversarialPlans, AllConvergeToTheReferencePartition) {
   const std::vector<std::string> plans = {
       "fixed:push", "fixed:pull", "fixed:pullf",
-      "fixed:finish", "fixed:pullf,push,finish", "fixed:push*4,pull"};
+      "fixed:finish", "fixed:pullf,push,finish", "fixed:push*4,pull",
+      "fixed:async", "fixed:pullf,async", "fixed:push*2,async"};
   const std::vector<std::string> scenarios = {
       "hub_star:1", "all_satellites:2", "two_clique_bridge:3",
       "permuted_rmat:4", "random:5"};
@@ -429,14 +502,15 @@ TEST(Solve, HandlesEmptyGraph) {
 // union-find reference; a failure is ddmin-shrunk to a minimal witness
 // before being reported.
 TEST(Fuzz, RandomFixedPlansMatchReference) {
-  constexpr const char* kKinds[] = {"pull", "pullf", "push", "finish"};
+  constexpr const char* kKinds[] = {"pull", "pullf", "push", "finish",
+                                    "async"};
   support::Xoshiro256StarStar rng(0x91a2f3u);
   for (int round = 0; round < 100; ++round) {
     std::string spec_text = "fixed:";
     const std::uint64_t length = 1 + rng.next_below(4);
     for (std::uint64_t i = 0; i < length; ++i) {
       if (i > 0) spec_text += ',';
-      spec_text += kKinds[rng.next_below(4)];
+      spec_text += kKinds[rng.next_below(5)];
       if (rng.next_below(4) == 0) {
         spec_text += '*';
         spec_text += std::to_string(1 + rng.next_below(3));
